@@ -1,0 +1,86 @@
+"""Shared driver for the NEXMark latency-timeline figures (5-12).
+
+Each figure shows the service-latency timeline of one query around a
+rebalancing migration, comparing all-at-once with Megaphone's batched
+strategy.  The paper migrates at 400 s and reports the second (rebalance)
+migration at 800 s; scaled to simulation time we migrate twice within a
+shorter run and report the second migration the same way.
+"""
+
+from _common import nexmark_config
+from repro.harness.report import (
+    format_duration,
+    format_latency,
+    print_table,
+    print_timeline,
+)
+from repro.nexmark.config import NexmarkConfig
+from repro.nexmark.harness import run_nexmark_experiment
+
+MIGRATE_FIRST = 3.0
+MIGRATE_SECOND = 6.0
+DURATION = 9.0
+
+
+def nexmark_cfg_for(query: int, strategy: str, stateful: bool, **overrides):
+    migrate = (MIGRATE_FIRST, MIGRATE_SECOND) if stateful else (MIGRATE_FIRST,)
+    defaults = dict(
+        duration_s=DURATION,
+        migrate_at_s=migrate,
+        strategy=strategy,
+        batch_size=64,
+    )
+    defaults.update(overrides)
+    return nexmark_config(**defaults)
+
+
+def run_figure(query: int, sink, stateful: bool = True, dilation: int = 1,
+               nexmark: NexmarkConfig = None, extra_variants=(), **overrides):
+    """Run the all-at-once vs batched comparison and print the figure."""
+    results = {}
+    for strategy in ("all-at-once", "batched"):
+        cfg = nexmark_cfg_for(query, strategy, stateful, dilation=dilation, **overrides)
+        results[strategy] = run_nexmark_experiment(query, cfg, nexmark=nexmark)
+    for variant in extra_variants:
+        if variant == "native":
+            cfg = nexmark_cfg_for(query, "batched", False, dilation=dilation,
+                                  migrate_at_s=(), **overrides)
+            results["native"] = run_nexmark_experiment(
+                query, cfg, nexmark=nexmark, native=True
+            )
+    return results
+
+
+def report_figure(figure: str, query: int, results, sink, stateful: bool = True):
+    rows = []
+    for strategy, res in results.items():
+        if res.migrations:
+            index = len(res.migrations) - 1
+            migration_max = format_latency(res.migration_max_latency(index))
+            duration = format_duration(res.migration_duration(index))
+        else:
+            migration_max, duration = "-", "-"
+        rows.append(
+            (
+                strategy,
+                migration_max,
+                duration,
+                format_latency(res.steady_max_latency()),
+                format_latency(res.timeline.overall.percentile(0.99)),
+            )
+        )
+    print_table(
+        f"{figure}: NEXMark Q{query} ({'second (rebalance)' if stateful else 'single'} migration)",
+        ["strategy", "max latency (migration)", "duration", "steady max", "p99 overall"],
+        rows,
+        out=sink,
+    )
+    for strategy, res in results.items():
+        if not res.migrations:
+            continue
+        start = MIGRATE_SECOND - 1 if stateful else MIGRATE_FIRST - 1
+        print_timeline(
+            f"{figure} timeline: {strategy}",
+            [s for s in res.timeline.series() if start <= s.start_s <= start + 3.0],
+            out=sink,
+        )

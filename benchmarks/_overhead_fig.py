@@ -1,0 +1,70 @@
+"""Shared driver for the steady-state overhead figures (13-15).
+
+No migration occurs: the cost is Megaphone's routing indirection and bin
+bookkeeping versus a native implementation, as the bin count grows from
+2^4 to 2^20.  Each figure reports the per-record latency CCDF and the
+paper's percentile table (90 / 99 / 99.99 / max).
+"""
+
+from _common import count_config
+from repro.harness.experiment import run_count_experiment
+from repro.harness.report import format_latency, print_ccdf, print_table
+
+LOG_BIN_COUNTS = (4, 6, 8, 10, 12, 14, 16, 18, 20)
+
+
+def run_overhead(domain: int, variant: str, duration_s: float = 3.0):
+    """One (experiment label -> result) map across bin counts + native."""
+    results = {}
+    for log_bins in LOG_BIN_COUNTS:
+        cfg = count_config(
+            domain=domain,
+            num_bins=1 << log_bins,
+            duration_s=duration_s,
+            variant=variant,
+        )
+        results[str(log_bins)] = run_count_experiment(cfg)
+    cfg = count_config(
+        domain=domain, duration_s=duration_s, variant=variant, native=True
+    )
+    results["Native"] = run_count_experiment(cfg)
+    return results
+
+
+def report_overhead(figure: str, title: str, results, sink):
+    rows = []
+    for label, res in results.items():
+        hist = res.timeline.overall
+        rows.append(
+            (
+                label,
+                format_latency(hist.percentile(0.90)),
+                format_latency(hist.percentile(0.99)),
+                format_latency(hist.percentile(0.9999)),
+                format_latency(hist.max_value),
+            )
+        )
+    print_table(
+        f"{figure}: {title} — selected percentiles (experiment = log2 bins)",
+        ["experiment", "90%", "99%", "99.99%", "max"],
+        rows,
+        out=sink,
+    )
+    for label in ("4", "12", "20", "Native"):
+        print_ccdf(
+            f"{figure} CCDF: experiment {label}",
+            results[label].timeline.overall.ccdf(),
+            out=sink,
+            max_points=15,
+        )
+
+
+def check_overhead_shape(results):
+    """The paper's qualitative claims for Figures 13-15."""
+    p99 = {k: r.timeline.overall.percentile(0.99) for k, r in results.items()}
+    # Up to 2^12 bins: small constant factor over native.
+    assert p99["12"] <= 6 * p99["Native"], (p99["12"], p99["Native"])
+    # Blow-up at 2^20 bins.
+    assert p99["20"] > 10 * p99["12"], (p99["20"], p99["12"])
+    # Monotone-ish degradation past the knee.
+    assert p99["20"] > p99["16"]

@@ -1,0 +1,61 @@
+"""Shared driver for the migration micro-benchmark sweeps (Figures 16-18).
+
+Each point runs the key-count workload to a steady state, performs one
+migration of a quarter of the state under one of the three strategies, and
+reports (duration, max latency) — the axes of the paper's scatter plots.
+"""
+
+from _common import count_config
+from repro.harness.experiment import run_count_experiment
+from repro.harness.report import format_duration, format_latency, print_table
+
+STRATEGIES = ("all-at-once", "fluid", "batched")
+MIGRATE_AT = 2.0
+
+
+def run_point(strategy: str, num_bins: int, domain: int, rate=None, **overrides):
+    cfg = count_config(
+        num_bins=num_bins,
+        domain=domain,
+        duration_s=5.0,
+        migrate_at_s=(MIGRATE_AT,),
+        strategy=strategy,
+        # A fixed number of bins per batch: finer bins shrink the state a
+        # batched step moves, which is the granularity effect Figures
+        # 16-18 are about.
+        batch_size=16,
+        **({"rate": rate} if rate is not None else {}),
+        **overrides,
+    )
+    res = run_count_experiment(cfg)
+    return {
+        "strategy": strategy,
+        "bins": num_bins,
+        "domain": domain,
+        "duration": res.migration_duration(0),
+        "max_latency": res.migration_max_latency(0),
+        "steady": res.steady_max_latency(),
+    }
+
+
+def report_sweep(figure: str, title: str, points, sink, label_key: str):
+    rows = [
+        (
+            p["strategy"],
+            p[label_key],
+            format_duration(p["duration"]),
+            format_latency(p["max_latency"]),
+            format_latency(p["steady"]),
+        )
+        for p in points
+    ]
+    print_table(
+        f"{figure}: {title}",
+        ["strategy", label_key, "duration", "max latency", "steady max"],
+        rows,
+        out=sink,
+    )
+
+
+def by_strategy(points, strategy):
+    return [p for p in points if p["strategy"] == strategy]

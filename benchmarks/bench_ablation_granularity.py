@@ -1,0 +1,51 @@
+"""Ablation: control/progress coordination granularity.
+
+Megaphone coordinates migrations through logical-time frontiers; how often
+the control stream's epoch advances bounds how quickly a reconfiguration
+becomes final and how quickly step completion is observed.  Coarser epochs
+stretch every step of a fluid migration (and add buffering latency for
+records whose configuration is not yet final).
+"""
+
+from _common import count_config, run_once
+from repro.harness.experiment import run_count_experiment
+from repro.harness.report import format_duration, format_latency, print_table
+
+DOMAIN = 64 * 10**6
+GRANULARITIES_MS = (5, 10, 50)
+
+
+def _run(granularity_ms):
+    cfg = count_config(
+        num_bins=256,
+        bandwidth_bytes_per_s=10e9,
+        domain=DOMAIN,
+        duration_s=6.0,
+        granularity_ms=granularity_ms,
+        migrate_at_s=(2.0,),
+        strategy="fluid",
+    )
+    return run_count_experiment(cfg)
+
+
+def bench_ablation_granularity(benchmark, sink):
+    results = run_once(
+        benchmark, lambda: {g: _run(g) for g in GRANULARITIES_MS}
+    )
+    rows = [
+        (
+            f"{g} ms",
+            format_duration(res.migration_duration(0)),
+            format_latency(res.migration_max_latency(0)),
+            format_latency(res.steady_max_latency()),
+        )
+        for g, res in results.items()
+    ]
+    print_table(
+        "Ablation: control-epoch granularity (fluid migration)",
+        ["epoch granularity", "migration duration", "max latency", "steady max"],
+        rows,
+        out=sink,
+    )
+    # Coarser coordination stretches the migration.
+    assert results[50].migration_duration(0) > 2 * results[5].migration_duration(0)

@@ -1,0 +1,18 @@
+"""Figure 5: NEXMark Q1 latency around reconfigurations.
+
+Q1 is stateless (currency conversion): the migration moves no state, so no
+latency spike should occur — this is the harness baseline.
+"""
+
+from _common import run_once
+from _nexmark_fig import report_figure, run_figure
+
+
+def bench_fig05_q1(benchmark, sink):
+    results = run_once(benchmark, lambda: run_figure(1, sink, stateful=False))
+    report_figure("Figure 5", 1, results, sink, stateful=False)
+    for strategy, res in results.items():
+        spike = res.migration_max_latency(0)
+        steady = res.steady_max_latency()
+        # No state: the migration window looks like steady state.
+        assert spike < 10 * steady + 0.005, (strategy, spike, steady)

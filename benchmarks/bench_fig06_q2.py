@@ -1,0 +1,17 @@
+"""Figure 6: NEXMark Q2 latency around reconfigurations.
+
+Q2 is a stateless filter: like Q1, reconfiguration moves no state and the
+latency timeline stays flat.
+"""
+
+from _common import run_once
+from _nexmark_fig import report_figure, run_figure
+
+
+def bench_fig06_q2(benchmark, sink):
+    results = run_once(benchmark, lambda: run_figure(2, sink, stateful=False))
+    report_figure("Figure 6", 2, results, sink, stateful=False)
+    for strategy, res in results.items():
+        spike = res.migration_max_latency(0)
+        steady = res.steady_max_latency()
+        assert spike < 10 * steady + 0.005, (strategy, spike, steady)

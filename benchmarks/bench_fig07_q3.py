@@ -1,0 +1,25 @@
+"""Figure 7: NEXMark Q3 (incremental join, unbounded state).
+
+All-at-once shows a visible spike at the rebalancing migration; batched
+stays an order of magnitude lower.  The paper also plots the native
+implementation's (migration-free) baseline for comparison.
+"""
+
+from _common import run_once
+from _nexmark_fig import report_figure, run_figure
+from repro.nexmark.config import NexmarkConfig
+
+NEX = NexmarkConfig(state_bytes_scale=4096.0)
+
+
+def bench_fig07_q3(benchmark, sink):
+    results = run_once(
+        benchmark,
+        lambda: run_figure(3, sink, nexmark=NEX, extra_variants=("native",)),
+    )
+    report_figure("Figure 7", 3, results, sink)
+    spike = results["all-at-once"].migration_max_latency(1)
+    batched = results["batched"].migration_max_latency(1)
+    assert spike > 3 * batched, (spike, batched)
+    # The native baseline has no migrations and low steady latency.
+    assert results["native"].steady_max_latency() < 0.1

@@ -1,0 +1,19 @@
+"""Figure 8: NEXMark Q4 (closing-price averages; bounded auction state).
+
+The paper sees an all-at-once spike above two seconds and batched staying
+around 100 ms; the reproduction target is the order-of-magnitude gap.
+"""
+
+from _common import run_once
+from _nexmark_fig import report_figure, run_figure
+from repro.nexmark.config import NexmarkConfig
+
+NEX = NexmarkConfig(state_bytes_scale=16384.0)
+
+
+def bench_fig08_q4(benchmark, sink):
+    results = run_once(benchmark, lambda: run_figure(4, sink, nexmark=NEX))
+    report_figure("Figure 8", 4, results, sink)
+    spike = results["all-at-once"].migration_max_latency(1)
+    batched = results["batched"].migration_max_latency(1)
+    assert spike > 3 * batched, (spike, batched)

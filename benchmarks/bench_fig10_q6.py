@@ -1,0 +1,20 @@
+"""Figure 10: NEXMark Q6 (per-seller closing averages).
+
+Q6 shares the winning-bid subplan with Q4, and the paper notes the result
+resembles Figure 8 for that reason: a large all-at-once spike, batched an
+order of magnitude lower.
+"""
+
+from _common import run_once
+from _nexmark_fig import report_figure, run_figure
+from repro.nexmark.config import NexmarkConfig
+
+NEX = NexmarkConfig(state_bytes_scale=16384.0)
+
+
+def bench_fig10_q6(benchmark, sink):
+    results = run_once(benchmark, lambda: run_figure(6, sink, nexmark=NEX))
+    report_figure("Figure 10", 6, results, sink)
+    spike = results["all-at-once"].migration_max_latency(1)
+    batched = results["batched"].migration_max_latency(1)
+    assert spike > 3 * batched, (spike, batched)

@@ -1,0 +1,18 @@
+"""Figure 11: NEXMark Q7 (highest bid per window; minimal state).
+
+Q7 keeps a single value per window, so there is essentially nothing to
+move: the paper observes no distinction between all-at-once and batched.
+"""
+
+from _common import run_once
+from _nexmark_fig import report_figure, run_figure
+
+
+def bench_fig11_q7(benchmark, sink):
+    results = run_once(benchmark, lambda: run_figure(7, sink))
+    report_figure("Figure 11", 7, results, sink)
+    spike = results["all-at-once"].migration_max_latency(1)
+    batched = results["batched"].migration_max_latency(1)
+    # Minimal state: both strategies in the same (small) ballpark.
+    assert spike < 10 * batched + 0.01, (spike, batched)
+    assert spike < 0.25, spike

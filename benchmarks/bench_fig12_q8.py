@@ -1,0 +1,23 @@
+"""Figure 12: NEXMark Q8 (twelve-hour windowed join) with time dilation.
+
+The paper dilates event time by 79, so the reconfiguration lands ~17.5 h
+into the first twelve-hour window: the retained person/seller sets are at
+their peak.  All-at-once spikes in proportion; batched stays low.
+"""
+
+from _common import run_once
+from _nexmark_fig import report_figure, run_figure
+from repro.nexmark.config import NexmarkConfig
+
+DILATION = 79
+NEX = NexmarkConfig(dilation=DILATION, state_bytes_scale=8192.0)
+
+
+def bench_fig12_q8(benchmark, sink):
+    results = run_once(
+        benchmark, lambda: run_figure(8, sink, dilation=DILATION, nexmark=NEX)
+    )
+    report_figure("Figure 12", 8, results, sink)
+    spike = results["all-at-once"].migration_max_latency(1)
+    batched = results["batched"].migration_max_latency(1)
+    assert spike > 3 * batched, (spike, batched)

@@ -1,0 +1,16 @@
+"""Figure 13: hash-count overhead, 256x10^6 keys, 4x10^6 updates/s.
+
+Per-record latency CCDF and percentile table for Megaphone at bin counts
+2^4..2^20 versus the native implementation, using hash-map bins.
+"""
+
+from _common import run_once
+from _overhead_fig import check_overhead_shape, report_overhead, run_overhead
+
+DOMAIN = 256 * 10**6
+
+
+def bench_fig13_hashcount(benchmark, sink):
+    results = run_once(benchmark, lambda: run_overhead(DOMAIN, variant="hash"))
+    report_overhead("Figure 13", "hash-count, 256M keys", results, sink)
+    check_overhead_shape(results)

@@ -1,0 +1,18 @@
+"""Figure 14: key-count overhead, 256x10^6 keys, 4x10^6 updates/s.
+
+Like Figure 13, but with dense-array bins ("key count"), whose per-record
+cost is lower; the bin-count knee is the same.
+"""
+
+from _common import run_once
+from _overhead_fig import check_overhead_shape, report_overhead, run_overhead
+
+DOMAIN = 256 * 10**6
+
+
+def bench_fig14_keycount(benchmark, sink):
+    results = run_once(benchmark, lambda: run_overhead(DOMAIN, variant="key"))
+    report_overhead("Figure 14", "key-count, 256M keys", results, sink)
+    check_overhead_shape(results)
+    # Dense arrays are cheaper than hash maps at the same configuration
+    # (checked against Figure 13 by EXPERIMENTS.md).

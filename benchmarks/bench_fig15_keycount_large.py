@@ -1,0 +1,17 @@
+"""Figure 15: key-count overhead at a 8192x10^6-key domain.
+
+The large domain leaves the overhead picture unchanged — the knee is a
+function of the bin count (routing table / bin bookkeeping), not of the
+key population, which is the paper's point in running both domains.
+"""
+
+from _common import run_once
+from _overhead_fig import check_overhead_shape, report_overhead, run_overhead
+
+DOMAIN = 8192 * 10**6
+
+
+def bench_fig15_keycount_large(benchmark, sink):
+    results = run_once(benchmark, lambda: run_overhead(DOMAIN, variant="key"))
+    report_overhead("Figure 15", "key-count, 8192M keys", results, sink)
+    check_overhead_shape(results)

@@ -1,0 +1,42 @@
+"""Figure 16: migration latency vs duration as the bin count varies.
+
+Fixed domain (paper: 4096x10^6 keys), bins from 2^4 to 2^14 by factors of
+four.  Expected shape: finer bins push fluid/batched max latency down
+without increasing duration; all-at-once stays in one high-latency,
+low-duration cluster regardless of granularity.
+"""
+
+from _common import run_once
+from _sweep_fig import by_strategy, report_sweep, run_point
+
+DOMAIN = 4096 * 10**6
+# 16 bins over 16 workers leaves one bin per worker: the paper's
+# quarter-state migration has nothing it can split, so the sweep starts
+# at 64 bins (granularity 2^6..2^14 by factors of four, as in the paper).
+BINS = (64, 256, 1024, 4096, 16384)
+
+
+def bench_fig16_vary_bins(benchmark, sink):
+    def run():
+        points = []
+        for bins in BINS:
+            for strategy in ("all-at-once", "fluid", "batched"):
+                points.append(run_point(strategy, num_bins=bins, domain=DOMAIN))
+        return points
+
+    points = run_once(benchmark, run)
+    report_sweep(
+        "Figure 16", f"vary bins, domain {DOMAIN:,} keys", points, sink, "bins"
+    )
+
+    fluid = {p["bins"]: p for p in by_strategy(points, "fluid")}
+    batched = {p["bins"]: p for p in by_strategy(points, "batched")}
+    allatonce = {p["bins"]: p for p in by_strategy(points, "all-at-once")}
+    # More bins => lower fluid/batched max latency.
+    assert fluid[16384]["max_latency"] < fluid[64]["max_latency"] / 4
+    assert batched[16384]["max_latency"] < batched[64]["max_latency"] / 4
+    # All-at-once max latency is granularity-independent (single cluster).
+    spikes = [p["max_latency"] for p in allatonce.values()]
+    assert max(spikes) < 3 * min(spikes), spikes
+    # At fine granularity, all-at-once is far above fluid.
+    assert allatonce[4096]["max_latency"] > 10 * fluid[4096]["max_latency"]

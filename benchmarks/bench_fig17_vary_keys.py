@@ -1,0 +1,45 @@
+"""Figure 17: migration latency vs duration as the key domain varies.
+
+Fixed bin count, domain from 256x10^6 to 32768x10^6 keys by factors of
+two (state size is modeled, so the paper's full range is reachable).
+Expected shape: per-bin state grows with the domain, so duration and the
+fluid/batched max latency grow proportionally; all-at-once max latency
+grows with the total state.
+"""
+
+from _common import PAPER_BINS, run_once
+from _sweep_fig import by_strategy, report_sweep, run_point
+
+DOMAINS = tuple(d * 10**6 for d in (256, 512, 1024, 2048, 4096, 8192, 16384, 32768))
+
+
+def bench_fig17_vary_keys(benchmark, sink):
+    def run():
+        points = []
+        for domain in DOMAINS:
+            for strategy in ("all-at-once", "fluid", "batched"):
+                points.append(
+                    run_point(strategy, num_bins=PAPER_BINS, domain=domain)
+                )
+        return points
+
+    points = run_once(benchmark, run)
+    report_sweep(
+        "Figure 17", f"vary domain, {PAPER_BINS} bins", points, sink, "domain"
+    )
+
+    allatonce = {p["domain"]: p for p in by_strategy(points, "all-at-once")}
+    fluid = {p["domain"]: p for p in by_strategy(points, "fluid")}
+    lo, hi = DOMAINS[0], DOMAINS[-1]
+    # All-at-once max latency scales with total state (128x domain growth).
+    assert allatonce[hi]["max_latency"] > 20 * allatonce[lo]["max_latency"]
+    # Fluid duration grows with the domain too.
+    assert fluid[hi]["duration"] > 4 * fluid[lo]["duration"]
+    # Within any domain, all-at-once has the highest latency and lowest
+    # duration of the three strategies.
+    for domain in DOMAINS:
+        group = [p for p in points if p["domain"] == domain]
+        worst = max(group, key=lambda p: p["max_latency"])
+        fastest = min(group, key=lambda p: p["duration"])
+        assert worst["strategy"] == "all-at-once"
+        assert fastest["strategy"] == "all-at-once"

@@ -1,0 +1,41 @@
+"""Figure 18: domain and bin count grow proportionally (fixed keys/bin).
+
+The paper fixes 4x10^6 keys per bin and doubles both together: with the
+migration granularity (per-bin state) constant, fluid/batched max latency
+stays flat while every strategy's duration grows; all-at-once latency
+keeps growing with the total state.
+"""
+
+from _common import run_once
+from _sweep_fig import by_strategy, report_sweep, run_point
+
+KEYS_PER_BIN = 4 * 10**6
+BINS = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+def bench_fig18_proportional(benchmark, sink):
+    def run():
+        points = []
+        for bins in BINS:
+            domain = bins * KEYS_PER_BIN
+            for strategy in ("all-at-once", "fluid", "batched"):
+                points.append(run_point(strategy, num_bins=bins, domain=domain))
+        return points
+
+    points = run_once(benchmark, run)
+    report_sweep(
+        "Figure 18", f"fixed {KEYS_PER_BIN:,} keys/bin", points, sink, "bins"
+    )
+
+    fluid = {p["bins"]: p for p in by_strategy(points, "fluid")}
+    batched = {p["bins"]: p for p in by_strategy(points, "batched")}
+    allatonce = {p["bins"]: p for p in by_strategy(points, "all-at-once")}
+    lo, hi = BINS[0], BINS[-1]
+    # Fixed per-bin state: fluid/batched max latency stays flat (within 3x
+    # over a 128x growth in total state)...
+    assert fluid[hi]["max_latency"] < 3 * fluid[lo]["max_latency"]
+    assert batched[hi]["max_latency"] < 3 * batched[lo]["max_latency"]
+    # ...while durations grow...
+    assert fluid[hi]["duration"] > 8 * fluid[lo]["duration"]
+    # ...and all-at-once latency grows with total state.
+    assert allatonce[hi]["max_latency"] > 8 * allatonce[lo]["max_latency"]

@@ -1,0 +1,76 @@
+"""Figure 20: per-process memory (modeled RSS) over time.
+
+Key-count with 16x10^9 keys and 4096 bins, migrations at two points, one
+run per strategy.  Expected shape: similar steady-state RSS for all
+strategies; all-at-once shows a large transient allocation spike at each
+migration (serialized state backing up in the send queues); fluid and
+batched stay flat because one-bin-at-a-time flow control bounds the
+temporary state.
+"""
+
+from _common import count_config, run_once
+from repro.harness.experiment import run_count_experiment
+from repro.harness.report import format_bytes, print_table
+
+DOMAIN = 16 * 10**9
+BINS = 4096
+MIGRATIONS = (2.0, 4.0)
+
+
+def _run(strategy):
+    cfg = count_config(
+        num_bins=BINS,
+        domain=DOMAIN,
+        duration_s=6.0,
+        migrate_at_s=MIGRATIONS,
+        strategy=strategy,
+        batch_size=16,
+        sample_memory=True,
+        memory_sample_s=0.05,
+        # A 10 GbE-class link so the backlog is visible at this state size.
+        bandwidth_bytes_per_s=1.25e9,
+    )
+    return run_count_experiment(cfg)
+
+
+def bench_fig20_memory(benchmark, sink):
+    results = run_once(
+        benchmark,
+        lambda: {s: _run(s) for s in ("all-at-once", "fluid", "batched")},
+    )
+
+    rows = []
+    overshoots = {}
+    for strategy, res in results.items():
+        worst_overshoot = 0.0
+        steady = 0.0
+        for tl in res.memory:
+            base = max(tl.at(1.8), tl.at(5.8))
+            steady = max(steady, base)
+            worst_overshoot = max(worst_overshoot, tl.peak() - base)
+        overshoots[strategy] = worst_overshoot
+        rows.append(
+            (strategy, format_bytes(steady), format_bytes(worst_overshoot))
+        )
+    print_table(
+        "Figure 20: modeled RSS — steady level and worst migration overshoot",
+        ["strategy", "steady RSS (max process)", "transient overshoot"],
+        rows,
+        out=sink,
+    )
+
+    for strategy, res in results.items():
+        series = [
+            (f"{s.time:.2f}", format_bytes(s.rss_bytes))
+            for s in res.memory[0].samples
+            if 1.5 <= s.time <= 5.5
+        ]
+        print_table(
+            f"Figure 20 timeline (process 0): {strategy}",
+            ["time [s]", "RSS"],
+            series[::4],
+            out=sink,
+        )
+
+    assert overshoots["all-at-once"] > 3 * overshoots["fluid"]
+    assert overshoots["all-at-once"] > 3 * overshoots["batched"]

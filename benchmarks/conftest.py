@@ -1,0 +1,43 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures as text:
+the series/rows are printed and also written to ``benchmarks/results/`` so
+they survive output capture.  ``REPRO_BENCH_SCALE`` (default 1.0) scales
+run durations and offered rates for quicker or more thorough runs.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def sink(results_dir, request):
+    """A print-like callable that tees to stdout and a per-bench file."""
+    name = request.node.name
+    path = results_dir / f"{name}.txt"
+    handle = path.open("w")
+
+    def emit(*args):
+        line = " ".join(str(a) for a in args)
+        print(line)
+        handle.write(line + "\n")
+
+    yield emit
+    handle.close()
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))

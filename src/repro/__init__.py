@@ -1,0 +1,20 @@
+"""Megaphone reproduction: latency-conscious state migration for
+distributed streaming dataflows (Hoffmann et al., VLDB 2019).
+
+Packages:
+
+* ``repro.sim`` — deterministic discrete-event simulation of the cluster
+  (workers, processes, network links, cost and memory models);
+* ``repro.timely`` — a timely dataflow runtime on the simulation: logical
+  timestamps, antichain frontiers, capabilities, exact progress tracking,
+  exchange channels, probes;
+* ``repro.megaphone`` — the paper's contribution: binned state, the F/S
+  operator pair, the ``state_machine``/``unary``/``binary`` operator
+  interface, migration strategies, and the migration controller;
+* ``repro.nexmark`` — the NEXMark generator and all eight queries, each in
+  a native and a Megaphone variant;
+* ``repro.harness`` — open-loop load generation, log-binned latency
+  instrumentation, and experiment orchestration.
+"""
+
+__version__ = "1.0.0"

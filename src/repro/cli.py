@@ -1,0 +1,180 @@
+"""Command-line interface for running reproduction experiments.
+
+Usage (module form)::
+
+    python -m repro.cli count --strategy fluid --bins 4096 --domain 1e9
+    python -m repro.cli nexmark --query 5 --strategy batched --dilation 60
+    python -m repro.cli compare --domain 1e9           # Figure 1 in one line
+    python -m repro.cli list
+
+Each command builds the simulated cluster, runs the workload with the
+requested migrations, and prints the latency timeline plus a migration
+summary in the same format the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiment import ExperimentConfig, run_count_experiment
+from repro.harness.report import (
+    format_duration,
+    format_latency,
+    print_table,
+    print_timeline,
+)
+from repro.megaphone.migration import STRATEGIES
+from repro.nexmark.config import NexmarkConfig
+from repro.nexmark.harness import run_nexmark_experiment
+
+
+def _common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--workers-per-process", type=int, default=4)
+    parser.add_argument("--bins", type=int, default=256)
+    parser.add_argument("--rate", type=float, default=20_000)
+    parser.add_argument("--duration", type=float, default=8.0)
+    parser.add_argument("--strategy", choices=STRATEGIES, default="batched")
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument(
+        "--migrate-at", type=float, nargs="*", default=[3.0],
+        help="simulated seconds at which to start migrations",
+    )
+    parser.add_argument("--granularity-ms", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _config_from(args, **extra) -> ExperimentConfig:
+    return ExperimentConfig(
+        num_workers=args.workers,
+        workers_per_process=args.workers_per_process,
+        num_bins=args.bins,
+        rate=args.rate,
+        duration_s=args.duration,
+        granularity_ms=args.granularity_ms,
+        migrate_at_s=tuple(args.migrate_at),
+        strategy=args.strategy,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        **extra,
+    )
+
+
+def _report(result, title: str) -> None:
+    print_timeline(title, result.timeline.series(), every=2)
+    rows = []
+    for i, migration in enumerate(result.migrations):
+        rows.append(
+            (
+                i,
+                migration.strategy,
+                len(migration.steps),
+                format_duration(result.migration_duration(i)),
+                format_latency(result.migration_max_latency(i)),
+            )
+        )
+    if rows:
+        print_table(
+            "migrations",
+            ["#", "strategy", "steps", "duration", "max latency"],
+            rows,
+        )
+    print(f"\nsteady-state max latency: {format_latency(result.steady_max_latency())}")
+    print(f"records injected: {result.records_injected:,.0f}; "
+          f"wall time: {result.wall_seconds:.1f}s")
+
+
+def cmd_count(args) -> int:
+    """Run the counting microbenchmark and print its report."""
+    cfg = _config_from(
+        args,
+        domain=int(args.domain),
+        bytes_per_key=args.bytes_per_key,
+        native=args.native,
+    )
+    result = run_count_experiment(cfg)
+    _report(result, f"key-count, domain {int(args.domain):,}")
+    return 0
+
+
+def cmd_nexmark(args) -> int:
+    """Run one NEXMark query and print its report."""
+    nexmark = NexmarkConfig(
+        dilation=args.dilation, state_bytes_scale=args.state_scale
+    )
+    cfg = _config_from(args, dilation=args.dilation, native=args.native)
+    result = run_nexmark_experiment(args.query, cfg, nexmark=nexmark)
+    _report(result, f"NEXMark Q{args.query}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run all four strategies on one workload (a one-line Figure 1)."""
+    rows = []
+    for strategy in ("all-at-once", "fluid", "batched", "optimized"):
+        cfg = _config_from(args, domain=int(args.domain))
+        cfg.strategy = strategy
+        result = run_count_experiment(cfg)
+        rows.append(
+            (
+                strategy,
+                format_latency(result.migration_max_latency(0)),
+                format_duration(result.migration_duration(0)),
+                format_latency(result.steady_max_latency()),
+            )
+        )
+    print_table(
+        f"strategy comparison, domain {int(args.domain):,}",
+        ["strategy", "max latency", "duration", "steady max"],
+        rows,
+    )
+    return 0
+
+
+def cmd_list(args) -> int:
+    """List available workloads and strategies."""
+    print("workloads: count (microbenchmark), nexmark (queries 1-8)")
+    print(f"strategies: {', '.join(STRATEGIES)}")
+    print("benchmarks: pytest benchmarks/ --benchmark-only  (one per paper figure)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    count = sub.add_parser("count", help="run the counting microbenchmark")
+    _common_args(count)
+    count.add_argument("--domain", type=float, default=1e6)
+    count.add_argument("--bytes-per-key", type=float, default=8.0)
+    count.add_argument("--native", action="store_true")
+    count.set_defaults(fn=cmd_count)
+
+    nexmark = sub.add_parser("nexmark", help="run a NEXMark query")
+    _common_args(nexmark)
+    nexmark.add_argument("--query", type=int, required=True, choices=range(1, 9))
+    nexmark.add_argument("--dilation", type=int, default=1)
+    nexmark.add_argument("--state-scale", type=float, default=1.0)
+    nexmark.add_argument("--native", action="store_true")
+    nexmark.set_defaults(fn=cmd_nexmark)
+
+    compare = sub.add_parser("compare", help="compare all strategies (Figure 1)")
+    _common_args(compare)
+    compare.add_argument("--domain", type=float, default=1e8)
+    compare.set_defaults(fn=cmd_compare)
+
+    lst = sub.add_parser("list", help="list workloads and strategies")
+    lst.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,319 @@
+"""Experiment orchestration: the reproduction's equivalent of the paper's
+test harness.
+
+``run_count_experiment`` assembles the counting microbenchmark (paper
+§5.2-5.3) on a simulated cluster, optionally schedules migrations, and
+returns latency timelines, per-migration timings, and memory timelines.
+NEXMark experiments reuse the same orchestration through
+``MigrationExperiment`` with a custom dataflow builder.
+"""
+
+from __future__ import annotations
+
+import time as wallclock
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.harness.latency import EpochLatencyRecorder, LatencyTimeline
+from repro.harness.openloop import OpenLoopSource
+from repro.harness.workloads import CountWorkload, count_fold
+from repro.megaphone.api import state_machine
+from repro.megaphone.control import BinnedConfiguration
+from repro.megaphone.controller import EpochTicker, MigrationController, MigrationResult
+from repro.megaphone.migration import imbalanced_target, make_plan
+from repro.sim.cost import CostModel
+from repro.sim.engine import Simulator
+from repro.sim.memory import MemoryTimeline
+from repro.sim.network import Cluster
+from repro.timely.dataflow import Dataflow
+
+
+@dataclass
+class ExperimentConfig:
+    """Parameters of one migration experiment."""
+
+    num_workers: int = 8
+    workers_per_process: int = 4
+    num_bins: int = 64
+    domain: int = 1 << 16
+    rate: float = 50_000.0
+    duration_s: float = 20.0
+    granularity_ms: int = 10
+    dilation: int = 1  # event-time runs `dilation` times faster than epochs
+    # Migration schedule: start times (simulated seconds) paired with the
+    # strategy; targets default to imbalance-then-rebalance cycling.
+    migrate_at_s: tuple = ()
+    strategy: str = "batched"
+    batch_size: int = 16
+    gap_s: float = 0.0
+    pace_s: object = None  # timer pacing for steps (None = await completion)
+    variant: str = "key"  # "key" (dense arrays) or "hash" (hash maps)
+    bytes_per_key: float = 8.0
+    cost: Optional[CostModel] = None
+    bandwidth_bytes_per_s: float = 1.25e9
+    network_latency_s: float = 40e-6
+    sample_memory: bool = False
+    memory_sample_s: float = 0.25
+    native: bool = False  # run the non-migrateable baseline instead
+    seed: int = 1
+
+    def resolved_cost(self) -> CostModel:
+        """The cost model, with the variant's per-record cost applied."""
+        cost = self.cost if self.cost is not None else CostModel()
+        cost = cost.with_overrides(state_bytes_per_key=self.bytes_per_key)
+        if self.variant == "hash":
+            # Hash-map bins pay hashing and probing on every update.
+            cost = cost.with_overrides(record_cost=cost.record_cost * 2.5)
+        return cost
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a benchmark reports from one run."""
+
+    config: ExperimentConfig
+    timeline: LatencyTimeline
+    migrations: list[MigrationResult] = field(default_factory=list)
+    memory: list[MemoryTimeline] = field(default_factory=list)
+    records_injected: float = 0.0
+    sim_events: int = 0
+    wall_seconds: float = 0.0
+
+    def migration_window(self, index: int) -> tuple[float, float]:
+        """(start, end) of migration ``index``, padded by one window."""
+        migration = self.migrations[index]
+        start = migration.started_at or 0.0
+        end = migration.completed_at or start
+        return (start - 0.25, end + self.timeline.window_s + 0.25)
+
+    def migration_max_latency(self, index: int) -> float:
+        """Largest latency observed during migration ``index``."""
+        start, end = self.migration_window(index)
+        return self.timeline.max_between(start, end)
+
+    def migration_duration(self, index: int) -> float:
+        """Duration of migration ``index`` (first issue to last completion)."""
+        return self.migrations[index].duration or 0.0
+
+    def steady_max_latency(self, warmup_s: float = 1.0) -> float:
+        """Largest latency outside every migration window (after warmup)."""
+        best = 0.0
+        for stats in self.timeline.series():
+            if stats.start_s < warmup_s:
+                continue
+            inside = any(
+                self.migration_window(i)[0] <= stats.start_s < self.migration_window(i)[1]
+                for i in range(len(self.migrations))
+            )
+            if not inside:
+                best = max(best, stats.max_s)
+        return best
+
+    def overall_max_latency(self, warmup_s: float = 1.0) -> float:
+        """Largest latency after warmup, migrations included."""
+        best = 0.0
+        for stats in self.timeline.series():
+            if stats.start_s >= warmup_s:
+                best = max(best, stats.max_s)
+        return best
+
+
+class MigrationExperiment:
+    """Drives a dataflow with open-loop input and scheduled migrations.
+
+    The builder callback receives ``(dataflow, control_stream, data_stream,
+    config)`` and returns ``(probe_stream, migrateable_op_or_None,
+    state_bytes_fn_or_None)``; everything else — ticking, load, migration
+    control, sampling, shutdown — is shared orchestration.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        build: Callable,
+        generator: Callable[[int, int, int], list],
+    ) -> None:
+        self.config = config
+        self._build = build
+        self._generator = generator
+
+    def run(self) -> ExperimentResult:
+        cfg = self.config
+        started = wallclock.perf_counter()
+        sim = Simulator()
+        cluster = Cluster(
+            sim,
+            num_workers=cfg.num_workers,
+            workers_per_process=cfg.workers_per_process,
+            bandwidth_bytes_per_s=cfg.bandwidth_bytes_per_s,
+            network_latency_s=cfg.network_latency_s,
+            cost=cfg.resolved_cost(),
+        )
+        df = Dataflow(cluster)
+        control, control_group = df.new_input("control")
+        data, data_group = df.new_input("data")
+        probe_stream, op, state_bytes_fn = self._build(df, control, data, cfg)
+        probe = df.probe(probe_stream)
+        runtime = df.build()
+
+        timeline = LatencyTimeline()
+        recorder = EpochLatencyRecorder(
+            runtime, probe, cfg.granularity_ms, timeline, dilation=cfg.dilation
+        )
+        source = OpenLoopSource(
+            runtime,
+            data_group,
+            self._generator,
+            rate=cfg.rate,
+            duration_s=cfg.duration_s,
+            granularity_ms=cfg.granularity_ms,
+            recorder=recorder,
+            dilation=cfg.dilation,
+        )
+        ticker = EpochTicker(
+            runtime,
+            control_group,
+            granularity_ms=cfg.granularity_ms,
+            dilation=cfg.dilation,
+        )
+
+        controllers: list[MigrationController] = []
+        if op is not None and cfg.migrate_at_s:
+            initial = op.config.initial
+            current = initial
+            for i, at_s in enumerate(cfg.migrate_at_s):
+                target = imbalanced_target(initial) if i % 2 == 0 else initial
+                plan = make_plan(cfg.strategy, current, target, cfg.batch_size)
+                controller = MigrationController(
+                    runtime, control_group, ticker, probe, plan,
+                    gap_s=cfg.gap_s, pace_s=cfg.pace_s,
+                )
+                controller.start_at(at_s)
+                controllers.append(controller)
+                current = target
+
+        memory_timelines = [
+            MemoryTimeline(process=p.index) for p in cluster.processes
+        ]
+        if cfg.sample_memory:
+            self._schedule_memory_sampler(
+                runtime, cluster, memory_timelines, state_bytes_fn
+            )
+
+        ticker.start()
+        source.start()
+
+        runtime.run(until=cfg.duration_s + 1.0)
+        guard = 0
+        while any(not c.done for c in controllers):
+            runtime.sim.run(max_events=100_000)
+            guard += 1
+            if guard > 10_000:
+                raise RuntimeError("migration did not complete; dataflow stalled")
+        ticker.stop()
+        runtime.run_to_quiescence()
+
+        result = ExperimentResult(
+            config=cfg,
+            timeline=timeline,
+            migrations=[c.result for c in controllers],
+            memory=memory_timelines,
+            records_injected=source.records_injected,
+            sim_events=sim.events_processed,
+            wall_seconds=wallclock.perf_counter() - started,
+        )
+        return result
+
+    def _schedule_memory_sampler(
+        self, runtime, cluster, timelines, state_bytes_fn
+    ) -> None:
+        cfg = self.config
+        sim = runtime.sim
+
+        def sample() -> None:
+            for process, timeline in zip(cluster.processes, timelines):
+                if state_bytes_fn is not None:
+                    state = sum(state_bytes_fn(w) for w in process.worker_ids)
+                    process.memory.state_bytes = state
+                timeline.record(sim.now, process.memory.rss_bytes)
+            if sim.now < cfg.duration_s + 1.0:
+                sim.schedule(cfg.memory_sample_s, sample)
+
+        sim.schedule_at(0.0, sample)
+
+
+# -- the counting microbenchmark ------------------------------------------------
+
+
+def _build_megaphone_count(df, control, data, cfg: ExperimentConfig):
+    workload = CountWorkload(domain=cfg.domain, seed=cfg.seed)
+    initial = BinnedConfiguration.round_robin(cfg.num_bins, cfg.num_workers)
+    op = state_machine(
+        control,
+        data,
+        exchange=lambda key: key,
+        fold=count_fold,
+        num_bins=cfg.num_bins,
+        initial=initial,
+        name="count",
+        state_factory=workload.state_factory_for(cfg.num_bins),
+        state_size_fn=lambda state: len(state) * cfg.bytes_per_key,
+    )
+
+    def state_bytes_fn(worker: int) -> float:
+        runtime = df._runtime
+        shared = runtime.workers[worker].shared
+        store = shared.get("megaphone:count")
+        return store.total_state_size() if store is not None else 0.0
+
+    return op.output, op, state_bytes_fn
+
+
+class _NativeCountLogic:
+    """Hand-tuned non-migrateable count operator (the paper's 'Native')."""
+
+    def __init__(self, cfg: ExperimentConfig, worker_id: int) -> None:
+        from repro.harness.workloads import ModeledCountState
+
+        self._state = ModeledCountState(
+            expected_keys=cfg.domain / cfg.num_workers
+        )
+        self._pending: dict[int, int] = {}
+
+    def on_input(self, ctx, port, time, records):
+        if time not in self._pending:
+            self._pending[time] = 0
+            ctx.notify_at(time)
+        self._pending[time] += len(records)
+        state = self._state
+        for key, diff in records:
+            state.add(key, diff)
+
+    def on_notify(self, ctx, time):
+        # Emission point: counts for `time` are final.
+        self._pending.pop(time, None)
+
+
+def _build_native_count(df, control, data, cfg: ExperimentConfig):
+    from repro.timely.graph import Exchange
+
+    out = data.unary(
+        "native_count",
+        lambda worker_id: _NativeCountLogic(cfg, worker_id),
+        pact=Exchange(lambda record: record[0]),
+    )
+    # The control stream still needs a consumer so its frontier drains.
+    control.sink(name="control_sink")
+
+    def state_bytes_fn(worker: int) -> float:
+        return (cfg.domain / cfg.num_workers) * cfg.bytes_per_key
+
+    return out, None, state_bytes_fn
+
+
+def run_count_experiment(cfg: ExperimentConfig) -> ExperimentResult:
+    """Run the counting microbenchmark under ``cfg``."""
+    workload = CountWorkload(domain=cfg.domain, seed=cfg.seed)
+    build = _build_native_count if cfg.native else _build_megaphone_count
+    experiment = MigrationExperiment(cfg, build, workload.make_generator())
+    return experiment.run()

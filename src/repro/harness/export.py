@@ -1,0 +1,101 @@
+"""Export measured series as gnuplot-ready data files.
+
+The paper's figures are gnuplot plots; this module writes the measured
+series in the same shape — one whitespace-separated ``.dat`` block per
+series with a commented header — plus a minimal ``.gp`` script, so anyone
+can regenerate publication-style plots from a benchmark's results.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.harness.latency import LatencyTimeline, LogHistogram
+
+
+def timeline_dat(timeline: LatencyTimeline, title: str = "latency") -> str:
+    """Figure 1/5-12 style: time vs max/p99/p50/p25 (milliseconds)."""
+    lines = [f"# {title}", "# time_s max_ms p99_ms p50_ms p25_ms"]
+    for stats in timeline.series():
+        lines.append(
+            f"{stats.start_s:.3f} {stats.max_s * 1000:.4f} "
+            f"{stats.p99_s * 1000:.4f} {stats.p50_s * 1000:.4f} "
+            f"{stats.p25_s * 1000:.4f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def ccdf_dat(histogram: LogHistogram, title: str = "ccdf") -> str:
+    """Figure 13-15 style: latency (ms) vs complementary CDF."""
+    lines = [f"# {title}", "# latency_ms ccdf"]
+    for latency_s, fraction in histogram.ccdf():
+        lines.append(f"{latency_s * 1000:.5f} {fraction:.6e}")
+    return "\n".join(lines) + "\n"
+
+
+def scatter_dat(
+    points: Iterable[tuple[float, float, str]], title: str = "scatter"
+) -> str:
+    """Figure 16-18 style: duration vs max latency, labeled points."""
+    lines = [f"# {title}", "# duration_s max_latency_s label"]
+    for duration, max_latency, label in points:
+        lines.append(f"{duration:.4f} {max_latency:.5f} {label}")
+    return "\n".join(lines) + "\n"
+
+
+def timeline_script(dat_name: str, title: str = "Service latency") -> str:
+    """A gnuplot script matching the paper's latency-timeline panels."""
+    return (
+        "set logscale y\n"
+        "set xlabel 'Time [s]'\n"
+        "set ylabel 'Latency [ms]'\n"
+        f"set title '{title}'\n"
+        f"plot '{dat_name}' using 1:2 with lines title 'max', \\\n"
+        f"     '{dat_name}' using 1:3 with lines title 'p: 0.99', \\\n"
+        f"     '{dat_name}' using 1:4 with lines title 'p: 0.5', \\\n"
+        f"     '{dat_name}' using 1:5 with lines title 'p: 0.25'\n"
+    )
+
+
+def ccdf_script(dat_name: str, title: str = "CCDF of per-record latencies") -> str:
+    """A gnuplot script matching the paper's CCDF panels."""
+    return (
+        "set logscale xy\n"
+        "set xlabel 'Latency [ms]'\n"
+        "set ylabel 'CCDF'\n"
+        f"set title '{title}'\n"
+        f"plot '{dat_name}' using 1:2 with lines notitle\n"
+    )
+
+
+def export_timeline(
+    timeline: LatencyTimeline,
+    directory,
+    name: str,
+    title: Optional[str] = None,
+) -> tuple[Path, Path]:
+    """Write ``<name>.dat`` and ``<name>.gp`` under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    dat = directory / f"{name}.dat"
+    script = directory / f"{name}.gp"
+    dat.write_text(timeline_dat(timeline, title or name))
+    script.write_text(timeline_script(dat.name, title or name))
+    return dat, script
+
+
+def export_ccdf(
+    histogram: LogHistogram,
+    directory,
+    name: str,
+    title: Optional[str] = None,
+) -> tuple[Path, Path]:
+    """Write CCDF ``.dat`` and ``.gp`` files under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    dat = directory / f"{name}.dat"
+    script = directory / f"{name}.gp"
+    dat.write_text(ccdf_dat(histogram, title or name))
+    script.write_text(ccdf_script(dat.name, title or name))
+    return dat, script

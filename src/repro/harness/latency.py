@@ -1,0 +1,219 @@
+"""Latency instrumentation.
+
+The paper's harness records observed latency every 250 ms into histograms of
+logarithmically sized bins (§5, setup) and reports timelines of max/p99/
+p50/p25 (Figures 1, 5-12), CCDFs of per-record latency (Figures 13-15), and
+per-migration maxima (Figures 16-19).  This module reproduces all of those
+from the same primitive: a log-binned histogram.
+
+Latency of an epoch is measured open-loop style: the difference between the
+simulated time at which the output frontier passed the epoch and the time
+the epoch's input was due to be injected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+# Four sub-steps per power of two gives ~19 % bucket resolution.
+_BUCKETS_PER_DOUBLING = 4
+_MIN_LATENCY_S = 1e-6
+
+
+class LogHistogram:
+    """Histogram with logarithmically sized bins (weighted counts)."""
+
+    def __init__(self) -> None:
+        self._counts: dict[int, float] = {}
+        self.total = 0.0
+        self.max_value: Optional[float] = None
+
+    @staticmethod
+    def _bucket(value: float) -> int:
+        value = max(value, _MIN_LATENCY_S)
+        return int(math.floor(math.log2(value) * _BUCKETS_PER_DOUBLING))
+
+    @staticmethod
+    def _bucket_upper(bucket: int) -> float:
+        return 2.0 ** ((bucket + 1) / _BUCKETS_PER_DOUBLING)
+
+    def record(self, latency_s: float, weight: float = 1.0) -> None:
+        """Record ``weight`` observations of ``latency_s``."""
+        if weight <= 0:
+            return
+        bucket = self._bucket(latency_s)
+        self._counts[bucket] = self._counts.get(bucket, 0.0) + weight
+        self.total += weight
+        if self.max_value is None or latency_s > self.max_value:
+            self.max_value = latency_s
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram into this one."""
+        for bucket, count in other._counts.items():
+            self._counts[bucket] = self._counts.get(bucket, 0.0) + count
+        self.total += other.total
+        if other.max_value is not None:
+            if self.max_value is None or other.max_value > self.max_value:
+                self.max_value = other.max_value
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Latency (seconds) at quantile ``q`` in [0, 1]; None when empty.
+
+        Returns the upper edge of the bucket containing the quantile, except
+        for the final bucket where the recorded maximum is returned.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.total <= 0:
+            return None
+        threshold = q * self.total
+        seen = 0.0
+        buckets = sorted(self._counts)
+        for bucket in buckets:
+            seen += self._counts[bucket]
+            if seen >= threshold:
+                if bucket == buckets[-1] and self.max_value is not None:
+                    return min(self._bucket_upper(bucket), self.max_value)
+                return self._bucket_upper(bucket)
+        return self.max_value
+
+    def ccdf(self) -> list[tuple[float, float]]:
+        """Complementary CDF: [(latency_s, fraction of observations > x)].
+
+        One point per occupied bucket (at its upper edge), suitable for the
+        log-log CCDF plots of Figures 13-15.
+        """
+        if self.total <= 0:
+            return []
+        points = []
+        remaining = self.total
+        for bucket in sorted(self._counts):
+            remaining -= self._counts[bucket]
+            points.append((self._bucket_upper(bucket), remaining / self.total))
+        return points
+
+    def is_empty(self) -> bool:
+        return self.total <= 0
+
+
+@dataclass
+class WindowStats:
+    """Latency summary of one 250 ms reporting window."""
+
+    start_s: float
+    max_s: float
+    p99_s: float
+    p50_s: float
+    p25_s: float
+    count: float
+
+
+@dataclass
+class LatencyTimeline:
+    """Per-window latency summaries plus an overall histogram."""
+
+    window_s: float = 0.25
+    windows: dict[int, LogHistogram] = field(default_factory=dict)
+    overall: LogHistogram = field(default_factory=LogHistogram)
+
+    def record(self, at_s: float, latency_s: float, weight: float = 1.0) -> None:
+        """Record an observation at simulated time ``at_s``."""
+        index = int(at_s / self.window_s)
+        window = self.windows.get(index)
+        if window is None:
+            window = self.windows[index] = LogHistogram()
+        window.record(latency_s, weight)
+        self.overall.record(latency_s, weight)
+
+    def series(self) -> list[WindowStats]:
+        """Chronological window summaries."""
+        out = []
+        for index in sorted(self.windows):
+            hist = self.windows[index]
+            out.append(
+                WindowStats(
+                    start_s=index * self.window_s,
+                    max_s=hist.max_value or 0.0,
+                    p99_s=hist.percentile(0.99) or 0.0,
+                    p50_s=hist.percentile(0.50) or 0.0,
+                    p25_s=hist.percentile(0.25) or 0.0,
+                    count=hist.total,
+                )
+            )
+        return out
+
+    def max_between(self, start_s: float, end_s: float) -> float:
+        """Largest latency observed in [start_s, end_s)."""
+        best = 0.0
+        for index, hist in self.windows.items():
+            at = index * self.window_s
+            if start_s <= at < end_s and hist.max_value is not None:
+                best = max(best, hist.max_value)
+        return best
+
+    def max_outside(self, start_s: float, end_s: float) -> float:
+        """Largest latency observed outside [start_s, end_s) (steady state)."""
+        best = 0.0
+        for index, hist in self.windows.items():
+            at = index * self.window_s
+            if not (start_s <= at < end_s) and hist.max_value is not None:
+                best = max(best, hist.max_value)
+        return best
+
+
+class EpochLatencyRecorder:
+    """Turns probe frontier movement into latency observations.
+
+    Epochs are integer millisecond timestamps spaced ``granularity_ms``
+    apart.  When the probed frontier passes an epoch ``t``, the epoch's
+    latency is ``now - t/1000``: the input for ``t`` was injected at
+    simulated time ``t/1000`` by the open-loop source, so this is exactly
+    the paper's service latency.  Observations are weighted by the number of
+    records the source injected for that epoch.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        probe,
+        granularity_ms: int,
+        timeline: Optional[LatencyTimeline] = None,
+        dilation: int = 1,
+    ) -> None:
+        self.runtime = runtime
+        self.granularity_ms = granularity_ms
+        self.dilation = dilation
+        # Epoch step in the (possibly dilated) event-time domain.
+        self._step = granularity_ms * dilation
+        self.timeline = timeline if timeline is not None else LatencyTimeline()
+        self._weights: dict[int, float] = {}
+        self._completed_through = -self._step
+        self._max_epoch = -self._step
+        probe.on_advance(self._on_advance)
+
+    def note_injected(self, epoch_ms: int, records: float) -> None:
+        """The source injected ``records`` records for ``epoch_ms``."""
+        self._weights[epoch_ms] = self._weights.get(epoch_ms, 0.0) + records
+        if epoch_ms > self._max_epoch:
+            self._max_epoch = epoch_ms
+
+    def _on_advance(self, frontier) -> None:
+        elements = frontier.elements()
+        if elements:
+            low = min(elements)
+            limit = low - self._step
+        else:
+            limit = self._max_epoch
+        now = self.runtime.sim.now
+        g = self._step
+        scale = 1000.0 * self.dilation
+        epoch = self._completed_through + g
+        while epoch <= limit:
+            weight = self._weights.pop(epoch, 1.0)
+            latency = now - epoch / scale
+            if latency > 0:
+                self.timeline.record(now, latency, weight)
+            epoch += g
+        self._completed_through = max(self._completed_through, limit)

@@ -1,0 +1,108 @@
+"""Plain-text reporting used by every benchmark.
+
+Benchmarks regenerate the paper's tables and figures as text: tables print
+as aligned columns, figures print as the series a plotting tool would
+consume (one row per point), so the shapes are inspectable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def format_latency(seconds: Optional[float]) -> str:
+    """Human-friendly latency (ms with sensible precision)."""
+    if seconds is None:
+        return "-"
+    ms = seconds * 1000.0
+    if ms >= 100:
+        return f"{ms:.0f} ms"
+    if ms >= 1:
+        return f"{ms:.2f} ms"
+    return f"{ms:.3f} ms"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-friendly byte count."""
+    units = ["B", "KiB", "MiB", "GiB", "TiB"]
+    value = float(num_bytes)
+    for unit in units:
+        if abs(value) < 1024 or unit == units[-1]:
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{value:.1f} TiB"
+
+
+def format_duration(seconds: Optional[float]) -> str:
+    """Human-friendly duration."""
+    if seconds is None:
+        return "-"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1000:.1f} ms"
+
+
+def format_count(value: float) -> str:
+    """Human-friendly large count (uses the paper's powers-of-ten style)."""
+    if value >= 1e9:
+        return f"{value / 1e9:g}G"
+    if value >= 1e6:
+        return f"{value / 1e6:g}M"
+    if value >= 1e3:
+        return f"{value / 1e3:g}k"
+    return f"{value:g}"
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    out=print,
+) -> None:
+    """Print an aligned text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out(f"\n== {title} ==")
+    out("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    out("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        out("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def print_timeline(title: str, series, out=print, every: int = 1) -> None:
+    """Print a latency timeline (Figures 1, 5-12 style)."""
+    rows = [
+        (
+            f"{s.start_s:.2f}",
+            format_latency(s.max_s),
+            format_latency(s.p99_s),
+            format_latency(s.p50_s),
+            format_latency(s.p25_s),
+        )
+        for i, s in enumerate(series)
+        if i % every == 0
+    ]
+    print_table(title, ["time [s]", "max", "p99", "p50", "p25"], rows, out=out)
+
+
+def print_ccdf(title: str, points, out=print, max_points: int = 40) -> None:
+    """Print a CCDF (Figures 13-15 style)."""
+    step = max(1, len(points) // max_points)
+    rows = [
+        (format_latency(latency), f"{fraction:.2e}")
+        for latency, fraction in points[::step]
+    ]
+    print_table(title, ["latency", "CCDF"], rows, out=out)
+
+
+def log_range(start: float, stop: float, factor: float) -> list[float]:
+    """Geometric sweep values, inclusive of both endpoints (approximately)."""
+    out = []
+    value = start
+    while value <= stop * (1 + 1e-9):
+        out.append(value)
+        value *= factor
+    return out

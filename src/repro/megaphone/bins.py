@@ -1,0 +1,111 @@
+"""Bins: the unit of state organization and migration.
+
+Paper §4.2: keys are statically grouped into a power-of-two number of bins;
+the configuration function maps ``(time, bin)`` to a worker.  A bin carries
+both the user state for its keys and the pending ``(time, tag, key, val)``
+records scheduled for future times — both migrate together (paper §3.4:
+"The state includes both the state for operator, as well as the list of
+pending (val, time) records").
+
+``BinStore`` is the per-worker container shared between the F and S operator
+instances of one migrateable operator (the paper's shared pointer, possible
+because timely multiplexes all operators of a worker on one thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.timely.notificator import PendingQueue
+
+
+def default_state_size(state: object, bytes_per_key: float) -> float:
+    """Modeled size of a bin's state: entries x bytes-per-key."""
+    try:
+        return len(state) * bytes_per_key  # type: ignore[arg-type]
+    except TypeError:
+        return bytes_per_key
+
+
+@dataclass
+class Bin:
+    """One bin: user state plus pending future records."""
+
+    bin_id: int
+    state: object
+    pending: PendingQueue = field(default_factory=PendingQueue)
+
+    def pending_len(self) -> int:
+        """Number of buffered future records."""
+        return len(self.pending)
+
+
+class BinStore:
+    """All bins of one migrateable operator resident on one worker."""
+
+    def __init__(
+        self,
+        num_bins: int,
+        state_factory: Callable[[], object],
+        state_size_fn: Optional[Callable[[object], float]] = None,
+        bytes_per_key: float = 8.0,
+    ) -> None:
+        self.num_bins = num_bins
+        self._state_factory = state_factory
+        self._bytes_per_key = bytes_per_key
+        self._state_size_fn = state_size_fn
+        self._bins: dict[int, Bin] = {}
+
+    def create(self, bin_id: int) -> Bin:
+        """Create an empty bin locally (initial placement)."""
+        if bin_id in self._bins:
+            raise ValueError(f"bin {bin_id} already present")
+        bin_ = Bin(bin_id=bin_id, state=self._state_factory())
+        self._bins[bin_id] = bin_
+        return bin_
+
+    def get(self, bin_id: int) -> Bin:
+        """The locally resident bin ``bin_id`` (KeyError if absent)."""
+        return self._bins[bin_id]
+
+    def has(self, bin_id: int) -> bool:
+        """Whether ``bin_id`` is resident on this worker."""
+        return bin_id in self._bins
+
+    def take(self, bin_id: int) -> Bin:
+        """Remove and return ``bin_id`` for migration."""
+        return self._bins.pop(bin_id)
+
+    def install(self, bin_: Bin) -> None:
+        """Install a migrated bin."""
+        if bin_.bin_id in self._bins:
+            raise ValueError(f"bin {bin_.bin_id} already present")
+        self._bins[bin_.bin_id] = bin_
+
+    def resident_bins(self) -> list[int]:
+        """Ids of bins currently on this worker."""
+        return list(self._bins)
+
+    def state_size(self, bin_id: int) -> float:
+        """Modeled bytes of one bin's state (including pending records)."""
+        bin_ = self._bins[bin_id]
+        if self._state_size_fn is not None:
+            size = self._state_size_fn(bin_.state)
+        else:
+            size = default_state_size(bin_.state, self._bytes_per_key)
+        return size + bin_.pending_len() * self._bytes_per_key
+
+    def total_state_size(self) -> float:
+        """Modeled bytes of all resident bins."""
+        return sum(self.state_size(b) for b in self._bins)
+
+    def total_keys(self) -> int:
+        """Total entries across resident bins (len-able states only)."""
+        total = 0
+        for bin_ in self._bins.values():
+            try:
+                total += len(bin_.state)  # type: ignore[arg-type]
+            except TypeError:
+                pass
+        return total

@@ -1,0 +1,201 @@
+"""The migration controller: drives a plan through the control stream.
+
+Megaphone itself only consumes configuration updates; deciding *what* to
+migrate and *when* is an external controller's job (paper §4.4 — DS2, Chi,
+or Dhalion could supply the stream).  This module provides:
+
+* ``EpochTicker`` — advances an input group's epochs with simulated time so
+  control (and data) frontiers keep moving;
+* ``MigrationController`` — issues one plan step at a time, awaits its
+  completion through a probe on the S output frontier, optionally waits a
+  drain gap, then issues the next step (paper §3.3's "await the migration's
+  completion before choosing the next");
+* ``StepResult`` — per-step issue/completion bookkeeping used by the
+  benchmarks to report migration duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.megaphone.migration import MigrationPlan
+from repro.timely.dataflow import InputGroup, Runtime
+from repro.timely.timestamp import Timestamp
+
+
+class EpochTicker:
+    """Advances every handle of an input group once per tick.
+
+    Epochs are integer timestamps derived from simulated time:
+    ``epoch = round(sim_time * 1000 / granularity_ms) * granularity_ms``,
+    i.e. event-time milliseconds quantized to the tick granularity.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        group: InputGroup,
+        granularity_ms: int = 10,
+        until_s: Optional[float] = None,
+        dilation: int = 1,
+    ) -> None:
+        self.runtime = runtime
+        self.group = group
+        self.granularity_ms = granularity_ms
+        self.until_s = until_s
+        self.dilation = dilation
+        self._stopped = False
+
+    @property
+    def tick_s(self) -> float:
+        return self.granularity_ms / 1000.0
+
+    def current_epoch(self) -> int:
+        """The (event-time) epoch corresponding to the current simulated time."""
+        quantized = int(round(self.runtime.sim.now * 1000 / self.granularity_ms))
+        return quantized * self.granularity_ms * self.dilation
+
+    def start(self) -> None:
+        """Begin ticking at the next tick boundary."""
+        self.runtime.sim.schedule(self.tick_s, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking and close the group at the next tick."""
+        self._stopped = True
+
+    def _tick(self) -> None:
+        now = self.runtime.sim.now
+        if self._stopped or (self.until_s is not None and now >= self.until_s):
+            self.group.close_all()
+            return
+        epoch = self.current_epoch() + self.granularity_ms * self.dilation
+        for handle in self.group.handles():
+            if handle.epoch is not None and handle.epoch < epoch:
+                handle.advance_to(epoch)
+        self.runtime.sim.schedule(self.tick_s, self._tick)
+
+
+@dataclass
+class StepResult:
+    """Timing of one reconfiguration step."""
+
+    time: Timestamp
+    moves: int
+    issued_at: float
+    completed_at: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.issued_at
+
+
+@dataclass
+class MigrationResult:
+    """Timings of a whole plan."""
+
+    strategy: str
+    steps: list[StepResult] = field(default_factory=list)
+
+    @property
+    def started_at(self) -> Optional[float]:
+        return self.steps[0].issued_at if self.steps else None
+
+    @property
+    def completed_at(self) -> Optional[float]:
+        if not self.steps or self.steps[-1].completed_at is None:
+            return None
+        return self.steps[-1].completed_at
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+class MigrationController:
+    """Feeds a migration plan into the control stream, step by step.
+
+    The controller issues each step at the current control epoch, watches
+    the S output frontier (via the provided probe) until the step's
+    timestamp has fully passed — state shipped *and* backlog drained — then
+    waits ``gap_s`` (paper §4.4's drain gap) and issues the next step.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        control_group: InputGroup,
+        ticker: EpochTicker,
+        probe,
+        plan: MigrationPlan,
+        gap_s: float = 0.0,
+        pace_s: Optional[float] = None,
+        on_done: Optional[Callable[[MigrationResult], None]] = None,
+    ) -> None:
+        self._runtime = runtime
+        self._group = control_group
+        self._ticker = ticker
+        self._probe = probe
+        self._plan = plan
+        self._gap_s = gap_s
+        # Completion pacing (default): the next step is issued gap_s after
+        # the previous one's frontier-confirmed completion.  Timer pacing
+        # (pace_s set): steps are issued every pace_s seconds regardless of
+        # completion — the regime where the paper's drain gap matters.
+        self._pace_s = pace_s
+        self._on_done = on_done
+        self._next_step = 0
+        self._awaiting: list[StepResult] = []
+        self.result = MigrationResult(strategy=plan.strategy)
+        probe.on_advance(self._check_progress)
+
+    @property
+    def done(self) -> bool:
+        """True when every step has been issued and completed."""
+        return self._next_step >= len(self._plan.steps) and not self._awaiting
+
+    def start_at(self, sim_time_s: float) -> None:
+        """Begin issuing steps at the given simulated time."""
+        self._runtime.sim.schedule_at(sim_time_s, self._issue_next)
+
+    def _issue_next(self) -> None:
+        if self._next_step >= len(self._plan.steps):
+            self._finish()
+            return
+        step = self._plan.steps[self._next_step]
+        self._next_step += 1
+        if not step.insts:
+            self._issue_next()
+            return
+        handle = self._group.handle(0)
+        if handle.epoch is None:
+            raise RuntimeError("control input closed while a migration is pending")
+        time = handle.epoch
+        handle.send(time, list(step.insts))
+        self._awaiting.append(
+            StepResult(
+                time=time, moves=len(step.insts), issued_at=self._runtime.sim.now
+            )
+        )
+        self.result.steps.append(self._awaiting[-1])
+        if self._pace_s is not None:
+            self._runtime.sim.schedule(self._pace_s, self._issue_next)
+        # The frontier may conceivably already be past; check synchronously.
+        self._check_progress(None)
+
+    def _check_progress(self, _frontier) -> None:
+        completed_any = False
+        while self._awaiting and self._probe.passed(self._awaiting[0].time):
+            self._awaiting[0].completed_at = self._runtime.sim.now
+            self._awaiting.pop(0)
+            completed_any = True
+        if completed_any and self._pace_s is None and not self._awaiting:
+            self._runtime.sim.schedule(self._gap_s, self._issue_next)
+
+    def _finish(self) -> None:
+        if self._on_done is not None:
+            self._on_done(self.result)

@@ -1,0 +1,180 @@
+"""Migration strategies: turning a target configuration into control steps.
+
+Paper §3.3 describes the strategy space; §4.4 adds two optimizations.  All
+strategies reveal the same set of ``(bin, worker)`` changes, differing only
+in how the changes are grouped into timestamped steps:
+
+* **all-at-once** — one step carries every change (the partial
+  pause-and-resume behaviour of existing systems);
+* **fluid** — one bin per step, each step awaiting the previous one's
+  completion;
+* **batched** — fixed-size groups of bins per step;
+* **optimized** — batched, plus bipartite matching so that each step's
+  moves use disjoint (source, destination) worker pairs — moves that do not
+  interfere proceed together, reducing the number of steps without much
+  increasing the per-step latency.
+
+The gap between steps (paper §4.4: lets the system drain enqueued records,
+halving the worst-case latency) is a controller parameter, not part of the
+plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.megaphone.control import BinnedConfiguration, ControlInst
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """One atomic reconfiguration: all instructions share a timestamp."""
+
+    insts: tuple[ControlInst, ...]
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+
+@dataclass
+class MigrationPlan:
+    """An ordered sequence of reconfiguration steps."""
+
+    strategy: str
+    steps: list[MigrationStep] = field(default_factory=list)
+
+    @property
+    def total_moves(self) -> int:
+        return sum(len(step) for step in self.steps)
+
+    def configurations(self, start: BinnedConfiguration) -> list[BinnedConfiguration]:
+        """The configuration after each step, starting from ``start``."""
+        configs = []
+        current = start
+        for step in self.steps:
+            current = current.apply(list(step.insts))
+            configs.append(current)
+        return configs
+
+
+def _moves(
+    current: BinnedConfiguration, target: BinnedConfiguration
+) -> list[ControlInst]:
+    return current.moved_bins(target)
+
+
+def plan_all_at_once(
+    current: BinnedConfiguration, target: BinnedConfiguration
+) -> MigrationPlan:
+    """Every change in a single step (prior work's behaviour)."""
+    moves = _moves(current, target)
+    steps = [MigrationStep(tuple(moves))] if moves else []
+    return MigrationPlan(strategy="all-at-once", steps=steps)
+
+
+def plan_fluid(
+    current: BinnedConfiguration, target: BinnedConfiguration
+) -> MigrationPlan:
+    """One bin per step."""
+    return MigrationPlan(
+        strategy="fluid",
+        steps=[MigrationStep((move,)) for move in _moves(current, target)],
+    )
+
+
+def plan_batched(
+    current: BinnedConfiguration,
+    target: BinnedConfiguration,
+    batch_size: int = 16,
+) -> MigrationPlan:
+    """Fixed-size batches of bins per step."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    moves = _moves(current, target)
+    steps = [
+        MigrationStep(tuple(moves[i:i + batch_size]))
+        for i in range(0, len(moves), batch_size)
+    ]
+    return MigrationPlan(strategy="batched", steps=steps)
+
+
+def plan_optimized(
+    current: BinnedConfiguration, target: BinnedConfiguration
+) -> MigrationPlan:
+    """Bipartite-matching rounds: disjoint (src, dst) pairs per step.
+
+    Each round is a matching in the bipartite multigraph whose left nodes
+    are source workers and right nodes destination workers, one edge per
+    moving bin.  Within a round every worker serializes (and receives) at
+    most one bin, so the round's latency is close to a single fluid step
+    while the number of rounds shrinks to roughly the maximum per-worker
+    move count.
+    """
+    moves = _moves(current, target)
+    remaining: list[tuple[int, int, ControlInst]] = [
+        (current.worker_of(inst.bin), inst.worker, inst) for inst in moves
+    ]
+    steps: list[MigrationStep] = []
+    while remaining:
+        used_src: set[int] = set()
+        used_dst: set[int] = set()
+        round_insts: list[ControlInst] = []
+        deferred: list[tuple[int, int, ControlInst]] = []
+        for src, dst, inst in remaining:
+            if src not in used_src and dst not in used_dst:
+                used_src.add(src)
+                used_dst.add(dst)
+                round_insts.append(inst)
+            else:
+                deferred.append((src, dst, inst))
+        steps.append(MigrationStep(tuple(round_insts)))
+        remaining = deferred
+    return MigrationPlan(strategy="optimized", steps=steps)
+
+
+STRATEGIES = ("all-at-once", "fluid", "batched", "optimized")
+
+
+def make_plan(
+    strategy: str,
+    current: BinnedConfiguration,
+    target: BinnedConfiguration,
+    batch_size: Optional[int] = None,
+) -> MigrationPlan:
+    """Build a plan by strategy name."""
+    if strategy == "all-at-once":
+        return plan_all_at_once(current, target)
+    if strategy == "fluid":
+        return plan_fluid(current, target)
+    if strategy == "batched":
+        return plan_batched(current, target, batch_size or 16)
+    if strategy == "optimized":
+        return plan_optimized(current, target)
+    raise ValueError(f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
+
+
+# -- canonical reconfiguration scenarios (paper §5, setup) ---------------------
+
+
+def imbalanced_target(initial: BinnedConfiguration) -> BinnedConfiguration:
+    """The paper's first migration: half the bins of the first half of the
+    workers move to the corresponding worker of the second half (25 % of
+    all state), producing an imbalanced assignment."""
+    workers = max(initial.assignment) + 1
+    half = workers // 2
+    if half == 0:
+        return initial
+    assignment = list(initial.assignment)
+    for w in range(half):
+        owned = [b for b, owner in enumerate(assignment) if owner == w]
+        for b in owned[: len(owned) // 2]:
+            assignment[b] = w + half
+    return BinnedConfiguration(tuple(assignment))
+
+
+def rebalanced_target(
+    initial: BinnedConfiguration, _imbalanced: BinnedConfiguration
+) -> BinnedConfiguration:
+    """The paper's second migration: back to the balanced configuration."""
+    return initial

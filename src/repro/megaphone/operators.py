@@ -1,0 +1,471 @@
+"""Megaphone's migration mechanism: the F (routing) and S (hosting) operators.
+
+Paper §3.4 and §4: a migrateable operator L is realized as a pair (F, S).
+
+* **F** receives the configuration stream (broadcast to every worker) and
+  the data stream.  It routes data records according to the configuration at
+  their timestamp, buffering records whose time is in advance of the control
+  frontier (the configuration there is not yet final).  F holds timely
+  capabilities at every pending reconfiguration time, observes the output
+  frontier of S, and — once a reconfiguration time is present in that
+  frontier — uninstalls the affected bins from the co-located S (through a
+  shared pointer) and ships them, bearing the reconfiguration timestamp,
+  through a regular dataflow channel to the new owner's S.
+
+* **S** hosts the bins.  It buffers arriving data records by timestamp,
+  installs migrated bins immediately, and applies records in timestamp order
+  once their time is not in advance of either the data or the state input
+  frontier — which is exactly when no earlier record and no state movement
+  can interfere.
+
+The public constructors (``state_machine``, ``unary``, ``binary``) in
+``repro.megaphone.api`` wrap this pair behind the operator interface of
+Listing 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.megaphone.bins import Bin, BinStore
+from repro.megaphone.control import BinnedConfiguration, ControlInst, bin_of
+from repro.megaphone.routing import RoutingTable
+from repro.timely.antichain import Antichain
+from repro.timely.dataflow import Stream
+from repro.timely.graph import Broadcast, Exchange, Pipeline
+from repro.timely.notificator import PendingQueue
+from repro.timely.timestamp import Timestamp, less_equal
+
+CONTROL_PORT = 0
+DATA_PORT_BASE = 1
+
+# S ports.
+S_DATA_PORT = 0
+S_STATE_PORT = 1
+
+
+class ApplicationContext:
+    """What the user's fold sees when a (time, bin) group is applied.
+
+    ``entries`` are ``(tag, record)`` pairs: the input port tag (0 for unary
+    and state-machine operators) and the record itself.  ``emit`` produces
+    output at the group's time; ``schedule`` post-dates a record to a future
+    time for the same bin (Megaphone's extended notificator idiom).
+    """
+
+    def __init__(
+        self, time: Timestamp, bin_: Bin, entries: list, worker: int = -1
+    ) -> None:
+        self.time = time
+        self.bin = bin_
+        self.entries = entries
+        self.worker = worker
+        self.outputs: list = []
+        self.scheduled: list[tuple[Timestamp, tuple]] = []
+
+    @property
+    def state(self) -> object:
+        """The bin's user state."""
+        return self.bin.state
+
+    def emit(self, records) -> None:
+        """Emit output records at the group's time."""
+        self.outputs.extend(records)
+
+    def schedule(self, time: Timestamp, record: object, tag: int = 0) -> None:
+        """Present ``record`` to the operator again at a future ``time``."""
+        if not less_equal(self.time, time):
+            raise ValueError(
+                f"cannot schedule at {time!r}: before current time {self.time!r}"
+            )
+        self.scheduled.append((time, (tag, record)))
+
+
+# The applier turns buffered entries into outputs:
+#   applier(app: ApplicationContext) -> None
+Applier = Callable[[ApplicationContext], None]
+
+
+class MigrationProbe:
+    """Shared, per-operator record of migration activity (for harnesses)."""
+
+    def __init__(self) -> None:
+        self.steps: dict[Timestamp, dict] = {}
+
+    def _step(self, time: Timestamp) -> dict:
+        return self.steps.setdefault(
+            time, {"moves": 0, "bytes": 0.0, "started": None, "completed": None}
+        )
+
+    def note_planned(self, time: Timestamp, moves: int) -> None:
+        self._step(time)["moves"] += moves
+
+    def note_started(self, time: Timestamp, now: float) -> None:
+        step = self._step(time)
+        if step["started"] is None:
+            step["started"] = now
+
+    def note_bytes(self, time: Timestamp, num_bytes: float) -> None:
+        self._step(time)["bytes"] += num_bytes
+
+    def total_bytes(self) -> float:
+        return sum(s["bytes"] for s in self.steps.values())
+
+
+class _FLogic:
+    """One worker's F instance."""
+
+    def __init__(self, config: "MegaphoneConfig", worker_id: int) -> None:
+        self._config = config
+        self._worker_id = worker_id
+        self._table = RoutingTable(config.initial)
+        # Control updates received but not yet final (time in advance of the
+        # control frontier), keyed by their timestamp.
+        self._pending_updates: dict[Timestamp, list[ControlInst]] = {}
+        # Finalized reconfiguration steps awaiting S's output frontier:
+        # (time, [(bin, src, dst), ...]); kept in time order.
+        self._pending_migrations: list[tuple[Timestamp, list[tuple[int, int, int]]]] = []
+        # Data batches whose time is in advance of the control frontier.
+        self._buffered = PendingQueue()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _store(self, ctx) -> BinStore:
+        return self._config.store_for(ctx)
+
+    def _route_batch(self, ctx, time: Timestamp, port_tag: int, records: list) -> None:
+        config = self._config
+        key_fn = config.key_fns[port_tag]
+        table = self._table
+        out = []
+        for record in records:
+            bin_id = config.bin_fn(key_fn(record))
+            dst = table.worker_for(bin_id, time)
+            out.append((dst, bin_id, port_tag, record))
+        if out:
+            ctx.send(0, time, out)
+
+    def input_cost(self, ctx, port: int, records: list, size_bytes: float) -> float:
+        if port == CONTROL_PORT:
+            return len(records) * ctx.cost.progress_update_cost
+        return len(records) * self._config.route_cost(ctx)
+
+    # -- dataflow hooks --------------------------------------------------------
+
+    def on_input(self, ctx, port: int, time: Timestamp, records: list) -> None:
+        if port == CONTROL_PORT:
+            for inst in records:
+                if time not in self._pending_updates:
+                    self._pending_updates[time] = []
+                    # Hold S's frontier at the reconfiguration time until
+                    # this worker's part of the migration has been shipped.
+                    ctx.hold_capability(time)
+                self._pending_updates[time].append(inst)
+            return
+        port_tag = port - DATA_PORT_BASE
+        control_frontier = ctx.input_frontier(CONTROL_PORT)
+        if control_frontier.less_equal(time):
+            # Configuration at `time` is not final yet: buffer, and keep the
+            # right to send at `time` once it becomes routable.
+            ctx.hold_capability(time)
+            self._buffered.push(time, (port_tag, records))
+        else:
+            # The control frontier may have finalized updates that this
+            # instance has not integrated yet (its on_frontier callback can
+            # lag behind data arrival); integrate before routing so records
+            # at or past a reconfiguration time go to the new owner.
+            if self._pending_updates:
+                self._integrate_updates(ctx, control_frontier)
+            self._route_batch(ctx, time, port_tag, records)
+
+    def on_frontier(self, ctx) -> None:
+        control_frontier = ctx.input_frontier(CONTROL_PORT)
+        self._integrate_updates(ctx, control_frontier)
+        self._drain_buffered(ctx, control_frontier)
+        self._try_migrations(ctx)
+
+    # -- steps -----------------------------------------------------------------
+
+    def _integrate_updates(self, ctx, control_frontier: Antichain) -> None:
+        ready = sorted(
+            (t for t in self._pending_updates if not control_frontier.less_equal(t)),
+            key=_time_key,
+        )
+        for time in ready:
+            insts = self._pending_updates.pop(time)
+            moves = []
+            for inst in insts:
+                src = self._table.current_owner(inst.bin)
+                if src != inst.worker:
+                    moves.append((inst.bin, src, inst.worker))
+            self._table.integrate(time, insts)
+            my_moves = [m for m in moves if m[1] == self._worker_id]
+            if self._worker_id == 0:
+                self._config.probe.note_planned(time, len(moves))
+            if my_moves:
+                self._pending_migrations.append((time, my_moves))
+            else:
+                # Nothing to ship from this worker: stop holding S back.
+                ctx.release_capability(time)
+
+    def _drain_buffered(self, ctx, control_frontier: Antichain) -> None:
+        ready = self._buffered.pop_ready(
+            lambda t: not control_frontier.less_equal(t)
+        )
+        for time, (port_tag, records) in ready:
+            self._route_batch(ctx, time, port_tag, records)
+            ctx.release_capability(time)
+
+    def _try_migrations(self, ctx) -> None:
+        while self._pending_migrations:
+            time, moves = self._pending_migrations[0]
+            s_frontier = ctx.output_frontier_of(self._config.s_op)
+            if s_frontier.less_than(time):
+                # Records earlier than `time` may still be unprocessed at S.
+                return
+            self._config.probe.note_started(time, ctx.now)
+            self._execute_moves(ctx, time, moves)
+            self._pending_migrations.pop(0)
+            ctx.release_capability(time)
+
+    def _execute_moves(self, ctx, time: Timestamp, moves: list) -> None:
+        store = self._store(ctx)
+        cost = ctx.cost
+        memory = ctx.memory
+        for bin_id, _src, dst in moves:
+            size = store.state_size(bin_id)
+            bin_ = store.take(bin_id)
+            ctx.charge(cost.serialize_cost(size))
+            # The extracted original stays resident until the network has
+            # drained the serialized copy (paper §5.3.5: the all-at-once
+            # memory spike is send-queue backlog).
+            memory.add_retained(size)
+            self._config.probe.note_bytes(time, size)
+            ctx.send(
+                1,
+                time,
+                [(dst, bin_, size)],
+                size_bytes=size,
+                on_transmitted=lambda s=size: memory.add_retained(-s),
+            )
+
+
+class _SLogic:
+    """One worker's S instance."""
+
+    def __init__(self, config: "MegaphoneConfig", worker_id: int) -> None:
+        self._config = config
+        self._worker_id = worker_id
+        # Data records buffered until the frontier passes their time:
+        # time -> list[(bin_id, tag, record)].
+        self._inbox: dict[Timestamp, list] = {}
+        # Bins with scheduled (post-dated) work at a time: time -> set of ids.
+        self._scheduled_bins: dict[Timestamp, set[int]] = {}
+
+    def _store(self, ctx) -> BinStore:
+        return self._config.store_for(ctx)
+
+    def input_cost(self, ctx, port: int, records: list, size_bytes: float) -> float:
+        if port == S_STATE_PORT:
+            return ctx.cost.deserialize_cost(size_bytes)
+        # Buffering only; the application cost is charged at notification.
+        return len(records) * ctx.cost.progress_update_cost
+
+    def on_input(self, ctx, port: int, time: Timestamp, records: list) -> None:
+        if port == S_STATE_PORT:
+            self._install_state(ctx, time, records)
+            return
+        if time not in self._inbox:
+            self._inbox[time] = []
+            ctx.notify_at(time)
+        inbox = self._inbox[time]
+        for dst, bin_id, tag, record in records:
+            inbox.append((bin_id, tag, record))
+
+    def _install_state(self, ctx, time: Timestamp, records: list) -> None:
+        store = self._store(ctx)
+        for dst, bin_, size in records:
+            store.install(bin_)
+            for pending_time in bin_.pending.times():
+                self._schedule_bin(ctx, pending_time, bin_.bin_id)
+
+    def _schedule_bin(self, ctx, time: Timestamp, bin_id: int) -> None:
+        bins = self._scheduled_bins.get(time)
+        if bins is None:
+            bins = self._scheduled_bins[time] = set()
+        if bin_id not in bins:
+            bins.add(bin_id)
+            ctx.notify_at(time)
+
+    def on_notify(self, ctx, time: Timestamp) -> None:
+        store = self._store(ctx)
+        groups: dict[int, list] = {}
+        # Post-dated records first: they were produced at earlier times.
+        for bin_id in sorted(self._scheduled_bins.pop(time, ())):
+            if not store.has(bin_id):
+                continue  # The bin migrated away; its pending work went along.
+            bin_ = store.get(bin_id)
+            for _t, entry in bin_.pending.pop_ready(lambda t: less_equal(t, time)):
+                groups.setdefault(bin_id, []).append(entry)
+        for bin_id, tag, record in self._inbox.pop(time, ()):
+            groups.setdefault(bin_id, []).append((tag, record))
+        if not groups:
+            return
+        cost = ctx.cost
+        applier = self._config.applier
+        total = 0
+        outputs: list = []
+        for bin_id in sorted(groups):
+            entries = groups[bin_id]
+            total += len(entries)
+            app = ApplicationContext(
+                time, store.get(bin_id), entries, worker=ctx.worker_id
+            )
+            applier(app)
+            outputs.extend(app.outputs)
+            for sched_time, entry in app.scheduled:
+                store.get(bin_id).pending.push(sched_time, entry)
+                self._schedule_bin(ctx, sched_time, bin_id)
+        ctx.charge(total * cost.record_cost)
+        if outputs:
+            ctx.send(0, time, outputs)
+
+
+class MegaphoneConfig:
+    """Shared construction-time configuration of one migrateable operator."""
+
+    def __init__(
+        self,
+        name: str,
+        num_bins: int,
+        initial: BinnedConfiguration,
+        key_fns: list[Callable[[object], int]],
+        applier: Applier,
+        state_factory: Callable[[], object],
+        state_size_fn: Optional[Callable[[object], float]],
+    ) -> None:
+        self.name = name
+        self.num_bins = num_bins
+        self.initial = initial
+        self.key_fns = key_fns
+        self.applier = applier
+        self.state_factory = state_factory
+        self.state_size_fn = state_size_fn
+        self.probe = MigrationProbe()
+        self.s_op: int = -1  # wired by the builder
+        self._route_cost: Optional[float] = None
+
+    def bin_fn(self, key_int: int) -> int:
+        return bin_of(key_int, self.num_bins)
+
+    def route_cost(self, ctx) -> float:
+        if self._route_cost is None:
+            self._route_cost = ctx.cost.route_cost_for_bins(self.num_bins)
+        return self._route_cost
+
+    def store_for(self, ctx) -> BinStore:
+        key = f"megaphone:{self.name}"
+        store = ctx.shared.get(key)
+        if store is None:
+            store = BinStore(
+                self.num_bins,
+                self.state_factory,
+                self.state_size_fn,
+                bytes_per_key=ctx.cost.state_bytes_per_key,
+            )
+            for bin_id in self.initial.bins_of(ctx.worker_id):
+                store.create(bin_id)
+            ctx.shared[key] = store
+        return store
+
+
+def _time_key(time: Timestamp):
+    if isinstance(time, tuple):
+        return (1, time)
+    return (0, (time,))
+
+
+class MigrateableOperator:
+    """Handle to a constructed Megaphone operator pair."""
+
+    def __init__(
+        self,
+        config: MegaphoneConfig,
+        output: Stream,
+        f_op: int,
+        s_op: int,
+    ) -> None:
+        self.config = config
+        self.output = output
+        self.f_op = f_op
+        self.s_op = s_op
+
+    @property
+    def migration_probe(self) -> MigrationProbe:
+        """Recorded migration activity (moves, bytes, start times)."""
+        return self.config.probe
+
+    def store(self, runtime, worker_id: int) -> BinStore:
+        """The bin store resident on ``worker_id`` (tests/metrics)."""
+        return runtime.workers[worker_id].shared[f"megaphone:{self.config.name}"]
+
+
+def build_migrateable(
+    control: Stream,
+    data_streams: list[Stream],
+    key_fns: list[Callable[[object], int]],
+    applier: Applier,
+    num_bins: int,
+    name: str,
+    initial: Optional[BinnedConfiguration] = None,
+    state_factory: Callable[[], object] = dict,
+    state_size_fn: Optional[Callable[[object], float]] = None,
+) -> MigrateableOperator:
+    """Assemble the F/S pair for a migrateable operator.
+
+    ``data_streams`` and ``key_fns`` run in parallel: one exchange function
+    per data input (paper Listing 1).  Returns a handle whose ``output`` is
+    the operator's output stream.
+    """
+    if len(data_streams) != len(key_fns):
+        raise ValueError("one key function per data stream is required")
+    if not data_streams:
+        raise ValueError("at least one data stream is required")
+    dataflow = control.dataflow
+    if initial is None:
+        initial = BinnedConfiguration.round_robin(num_bins, dataflow.num_workers)
+    if initial.num_bins != num_bins:
+        raise ValueError("initial configuration has the wrong number of bins")
+    config = MegaphoneConfig(
+        name=name,
+        num_bins=num_bins,
+        initial=initial,
+        key_fns=key_fns,
+        applier=applier,
+        state_factory=state_factory,
+        state_size_fn=state_size_fn,
+    )
+
+    f_inputs = [(control, Broadcast())]
+    f_inputs.extend((stream, Pipeline()) for stream in data_streams)
+    f_outputs = dataflow.add_operator(
+        name=f"{name}/F",
+        inputs=f_inputs,
+        n_outputs=2,
+        logic_factory=lambda worker_id: _FLogic(config, worker_id),
+    )
+    data_out, state_out = f_outputs
+    f_op = data_out.op_index
+
+    by_destination = Exchange(lambda record: record[0])
+    s_outputs = dataflow.add_operator(
+        name=f"{name}/S",
+        inputs=[(data_out, by_destination), (state_out, by_destination)],
+        n_outputs=1,
+        logic_factory=lambda worker_id: _SLogic(config, worker_id),
+    )
+    output = s_outputs[0]
+    s_op = output.op_index
+    config.s_op = s_op
+    dataflow.watch_output(s_op, f_op)
+    return MigrateableOperator(config=config, output=output, f_op=f_op, s_op=s_op)

@@ -1,0 +1,105 @@
+"""Serialization of configurations and migration plans.
+
+External controllers (DS2, Dhalion, Chi — paper §4.4) live outside the
+dataflow process; the natural interchange format for the control commands
+they produce is structured text.  This module round-trips configurations,
+instructions, and whole plans through JSON-compatible dictionaries so a
+controller can be a separate program (or a human with an editor).
+"""
+
+from __future__ import annotations
+
+import json
+from repro.megaphone.control import BinnedConfiguration, ControlInst
+from repro.megaphone.migration import MigrationPlan, MigrationStep
+
+FORMAT_VERSION = 1
+
+
+def configuration_to_dict(config: BinnedConfiguration) -> dict:
+    """JSON-compatible form of a configuration."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "configuration",
+        "assignment": list(config.assignment),
+    }
+
+
+def configuration_from_dict(data: dict) -> BinnedConfiguration:
+    """Parse a configuration; validates kind and contents."""
+    _check(data, "configuration")
+    assignment = data["assignment"]
+    if not isinstance(assignment, list) or not all(
+        isinstance(w, int) and w >= 0 for w in assignment
+    ):
+        raise ValueError("assignment must be a list of worker ids")
+    return BinnedConfiguration(tuple(assignment))
+
+
+def inst_to_dict(inst: ControlInst) -> dict:
+    """JSON-compatible form of one control instruction."""
+    return {"bin": inst.bin, "worker": inst.worker}
+
+
+def inst_from_dict(data: dict) -> ControlInst:
+    """Parse one control instruction."""
+    return ControlInst(bin=int(data["bin"]), worker=int(data["worker"]))
+
+
+def plan_to_dict(plan: MigrationPlan) -> dict:
+    """JSON-compatible form of a migration plan."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "plan",
+        "strategy": plan.strategy,
+        "steps": [
+            [inst_to_dict(inst) for inst in step.insts] for step in plan.steps
+        ],
+    }
+
+
+def plan_from_dict(data: dict) -> MigrationPlan:
+    """Parse a migration plan."""
+    _check(data, "plan")
+    steps = [
+        MigrationStep(tuple(inst_from_dict(i) for i in step))
+        for step in data["steps"]
+    ]
+    return MigrationPlan(strategy=str(data["strategy"]), steps=steps)
+
+
+def dump_plan(plan: MigrationPlan, path) -> None:
+    """Write a plan to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(plan_to_dict(plan), handle, indent=2)
+
+
+def load_plan(path) -> MigrationPlan:
+    """Read a plan from a JSON file."""
+    with open(path) as handle:
+        return plan_from_dict(json.load(handle))
+
+
+def dump_configuration(config: BinnedConfiguration, path) -> None:
+    """Write a configuration to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(configuration_to_dict(config), handle, indent=2)
+
+
+def load_configuration(path) -> BinnedConfiguration:
+    """Read a configuration from a JSON file."""
+    with open(path) as handle:
+        return configuration_from_dict(json.load(handle))
+
+
+def _check(data: dict, kind: str) -> None:
+    if not isinstance(data, dict):
+        raise ValueError(f"expected a {kind} object")
+    if data.get("kind") != kind:
+        raise ValueError(f"expected kind={kind!r}, got {data.get('kind')!r}")
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported {kind} format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )

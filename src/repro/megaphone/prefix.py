@@ -1,0 +1,266 @@
+"""Prefix-tree binning: runtime-adjustable migration granularity.
+
+Paper §4.4 ("Alternatives to binning"): Megaphone's static key-to-bin map
+could be replaced by a longest-prefix match over the hashed key space, as
+in Internet routing tables, so that bins can be *split* into finer sets or
+*merged* into coarser ones at runtime instead of fixing the granularity at
+startup.
+
+This module implements that alternative:
+
+* :class:`Prefix` — a (bits, length) pair naming a subtree of the 64-bit
+  hash space;
+* :class:`PrefixRouter` — a binary trie mapping prefixes to workers with
+  longest-prefix-match lookup, split, and merge;
+* :class:`SplittableBinStore` — bin state keyed by prefix, with state
+  splitting (rehash the keys one bit deeper) and merging, so a hot bin can
+  be subdivided before migrating only part of it.
+
+The router produces the same ``(time, bin, worker)`` update vocabulary as
+the static scheme — a prefix is a bin id — so migration plans over prefixes
+compose with the existing strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.megaphone.control import splitmix64
+
+HASH_BITS = 64
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """The subtree of hashes whose top ``length`` bits equal ``bits``."""
+
+    bits: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= HASH_BITS:
+            raise ValueError(f"prefix length {self.length} out of range")
+        if self.bits >> self.length:
+            raise ValueError(f"bits {self.bits:#x} do not fit length {self.length}")
+
+    def contains_hash(self, key_hash: int) -> bool:
+        """Is ``key_hash`` inside this prefix's subtree?"""
+        if self.length == 0:
+            return True
+        return (key_hash >> (HASH_BITS - self.length)) == self.bits
+
+    def contains(self, other: "Prefix") -> bool:
+        """Is ``other`` equal to or below this prefix?"""
+        if other.length < self.length:
+            return False
+        return (other.bits >> (other.length - self.length)) == self.bits
+
+    def children(self) -> tuple["Prefix", "Prefix"]:
+        """The two one-bit-longer refinements."""
+        if self.length >= HASH_BITS:
+            raise ValueError("cannot split a full-length prefix")
+        return (
+            Prefix(self.bits << 1, self.length + 1),
+            Prefix((self.bits << 1) | 1, self.length + 1),
+        )
+
+    def parent(self) -> "Prefix":
+        """The one-bit-shorter prefix containing this one."""
+        if self.length == 0:
+            raise ValueError("the root prefix has no parent")
+        return Prefix(self.bits >> 1, self.length - 1)
+
+    def __str__(self) -> str:
+        if self.length == 0:
+            return "*"
+        return format(self.bits, f"0{self.length}b")
+
+
+class PrefixRouter:
+    """A longest-prefix-match routing table over the hashed key space.
+
+    The table's leaves partition the hash space; every leaf is assigned to
+    a worker.  ``split`` turns a leaf into two finer leaves (inheriting the
+    worker); ``merge`` collapses two sibling leaves (they must agree on the
+    worker).  Lookups hash the key and walk to the covering leaf.
+    """
+
+    def __init__(self, num_workers: int, initial_depth: int = 2) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers
+        self._leaves: dict[Prefix, int] = {}
+        for i in range(1 << initial_depth):
+            self._leaves[Prefix(i, initial_depth)] = i % num_workers
+
+    # -- queries ---------------------------------------------------------------
+
+    def leaves(self) -> list[Prefix]:
+        """The current partition of the hash space."""
+        return sorted(self._leaves)
+
+    def worker_of(self, prefix: Prefix) -> int:
+        """Owner of a current leaf."""
+        return self._leaves[prefix]
+
+    def leaf_for_hash(self, key_hash: int) -> Prefix:
+        """The leaf covering ``key_hash`` (longest-prefix match)."""
+        for length in range(HASH_BITS, -1, -1):
+            candidate = Prefix(key_hash >> (HASH_BITS - length), length)
+            if candidate in self._leaves:
+                return candidate
+        raise KeyError(f"no leaf covers hash {key_hash:#x}")
+
+    def route_key(self, key: object) -> int:
+        """Worker for ``key`` (hashes, then longest-prefix match)."""
+        if isinstance(key, int):
+            key_hash = splitmix64(key & 0xFFFFFFFFFFFFFFFF)
+        else:
+            from repro.megaphone.control import stable_hash
+
+            key_hash = stable_hash(key)
+        return self._leaves[self.leaf_for_hash(key_hash)]
+
+    def is_partition(self) -> bool:
+        """Sanity: the leaves cover the space exactly once."""
+        total = 0.0
+        for prefix in self._leaves:
+            total += 2.0 ** (-prefix.length)
+        return abs(total - 1.0) < 1e-12
+
+    # -- reconfiguration ----------------------------------------------------------
+
+    def assign(self, prefix: Prefix, worker: int) -> None:
+        """Move a leaf to another worker."""
+        if prefix not in self._leaves:
+            raise KeyError(f"{prefix} is not a current leaf")
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker {worker} out of range")
+        self._leaves[prefix] = worker
+
+    def split(self, prefix: Prefix) -> tuple[Prefix, Prefix]:
+        """Refine a leaf into its two children (same worker)."""
+        worker = self._leaves.pop(prefix)
+        left, right = prefix.children()
+        self._leaves[left] = worker
+        self._leaves[right] = worker
+        return left, right
+
+    def merge(self, prefix: Prefix) -> Prefix:
+        """Collapse ``prefix``'s two children back into it.
+
+        Both children must be current leaves on the same worker — merging
+        across workers would silently move state.
+        """
+        left, right = prefix.children()
+        if left not in self._leaves or right not in self._leaves:
+            raise KeyError(f"children of {prefix} are not both leaves")
+        if self._leaves[left] != self._leaves[right]:
+            raise ValueError(
+                f"cannot merge {prefix}: children live on different workers"
+            )
+        worker = self._leaves.pop(left)
+        self._leaves.pop(right)
+        self._leaves[prefix] = worker
+        return prefix
+
+
+class SplittableBinStore:
+    """Bin state keyed by prefix, supporting split and merge of the state.
+
+    ``key_hash_fn`` maps a state key to its 64-bit hash (the same hash the
+    router uses), so a split can deal each entry to the correct child.
+    """
+
+    def __init__(self, key_hash_fn: Callable[[object], int]) -> None:
+        self._key_hash_fn = key_hash_fn
+        self._states: dict[Prefix, dict] = {}
+
+    def create(self, prefix: Prefix) -> dict:
+        """Create an empty state for a new leaf."""
+        if prefix in self._states:
+            raise ValueError(f"{prefix} already present")
+        state: dict = {}
+        self._states[prefix] = state
+        return state
+
+    def get(self, prefix: Prefix) -> dict:
+        return self._states[prefix]
+
+    def has(self, prefix: Prefix) -> bool:
+        return prefix in self._states
+
+    def take(self, prefix: Prefix) -> dict:
+        """Remove a leaf's state (for migration)."""
+        return self._states.pop(prefix)
+
+    def install(self, prefix: Prefix, state: dict) -> None:
+        """Install a migrated leaf's state."""
+        if prefix in self._states:
+            raise ValueError(f"{prefix} already present")
+        self._states[prefix] = state
+
+    def prefixes(self) -> list[Prefix]:
+        return sorted(self._states)
+
+    def split(self, prefix: Prefix) -> tuple[Prefix, Prefix]:
+        """Split a leaf's state by the next hash bit."""
+        state = self._states.pop(prefix)
+        left, right = prefix.children()
+        left_state: dict = {}
+        right_state: dict = {}
+        for key, value in state.items():
+            if left.contains_hash(self._key_hash_fn(key)):
+                left_state[key] = value
+            else:
+                right_state[key] = value
+        self._states[left] = left_state
+        self._states[right] = right_state
+        return left, right
+
+    def merge(self, prefix: Prefix) -> Prefix:
+        """Merge two sibling leaves' state back into the parent."""
+        left, right = prefix.children()
+        left_state = self._states.pop(left)
+        right_state = self._states.pop(right)
+        merged = dict(left_state)
+        overlap = merged.keys() & right_state.keys()
+        if overlap:
+            raise ValueError(f"sibling states overlap on keys: {sorted(overlap)[:3]}")
+        merged.update(right_state)
+        self._states[prefix] = merged
+        return prefix
+
+
+def plan_split_migration(
+    router: PrefixRouter,
+    store_sizes: Callable[[Prefix], float],
+    hot_threshold: float,
+    target_worker_fn: Callable[[Prefix], int],
+    max_depth: int = 20,
+) -> list[tuple[str, Prefix, Optional[int]]]:
+    """Plan a migration that first refines hot leaves, then moves halves.
+
+    Returns a script of ``("split", prefix, None)`` and
+    ``("move", prefix, worker)`` actions: any leaf whose state exceeds
+    ``hot_threshold`` is split (recursively, up to ``max_depth``) so that
+    the eventual moves each carry at most the threshold — the runtime
+    version of choosing the bin count after the fact.
+    """
+    actions: list[tuple[str, Prefix, Optional[int]]] = []
+
+    def refine(prefix: Prefix, size: float) -> list[Prefix]:
+        if size <= hot_threshold or prefix.length >= max_depth:
+            return [prefix]
+        actions.append(("split", prefix, None))
+        out = []
+        for child in prefix.children():
+            out.extend(refine(child, size / 2.0))
+        return out
+
+    for leaf in router.leaves():
+        for piece in refine(leaf, store_sizes(leaf)):
+            target = target_worker_fn(piece)
+            actions.append(("move", piece, target))
+    return actions

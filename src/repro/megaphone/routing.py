@@ -1,0 +1,92 @@
+"""The timestamped routing table: ``configuration(time, bin) -> worker``.
+
+Each F instance maintains one (paper Figure 4).  Updates are integrated only
+once their timestamp is no longer in advance of the control-stream frontier —
+before that the configuration at their time is not yet final, so data at
+those times must be buffered.
+"""
+
+from __future__ import annotations
+
+from repro.megaphone.control import BinnedConfiguration, ControlInst
+from repro.timely.timestamp import Timestamp
+
+
+class RoutingTable:
+    """Per-bin history of ``(effective_time, worker)`` entries.
+
+    Lookup returns the entry with the greatest effective time that is not in
+    advance of the queried time.  Entries must be integrated in
+    non-decreasing time order per bin, which the control-frontier discipline
+    guarantees.
+    """
+
+    def __init__(self, initial: BinnedConfiguration) -> None:
+        self.num_bins = initial.num_bins
+        # Per bin: parallel lists of effective times and workers.
+        self._times: list[list[Timestamp]] = [[] for _ in range(self.num_bins)]
+        self._workers: list[list[int]] = [list() for _ in range(self.num_bins)]
+        for b, w in enumerate(initial.assignment):
+            self._times[b].append(None)  # placeholder for "since forever"
+            self._workers[b].append(w)
+        # None sorts issues: store times as a sentinel -inf via index 0.
+
+    def integrate(self, time: Timestamp, insts: list[ControlInst]) -> None:
+        """Apply a final reconfiguration step effective at ``time``."""
+        for inst in insts:
+            times = self._times[inst.bin]
+            last = times[-1]
+            if last is not None and not last <= time:
+                raise ValueError(
+                    f"control updates for bin {inst.bin} integrated out of "
+                    f"order: {last!r} then {time!r}"
+                )
+            if last == time:
+                # Same-time update overwrites (last write wins within a step).
+                self._workers[inst.bin][-1] = inst.worker
+            else:
+                times.append(time)
+                self._workers[inst.bin].append(inst.worker)
+
+    def worker_for(self, bin_id: int, time: Timestamp) -> int:
+        """Owner of ``bin_id`` for records at ``time``."""
+        times = self._times[bin_id]
+        # Find rightmost entry with effective time <= time; entry 0 (None)
+        # is the initial assignment and matches everything.
+        lo, hi = 1, len(times)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if times[mid] <= time:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._workers[bin_id][lo - 1]
+
+    def current_owner(self, bin_id: int) -> int:
+        """Owner per the latest integrated entry."""
+        return self._workers[bin_id][-1]
+
+    def compact(self, before: Timestamp) -> None:
+        """Drop history that can no longer be queried (data frontier passed).
+
+        Retains the latest entry at or before ``before`` as the new base.
+        """
+        for b in range(self.num_bins):
+            times = self._times[b]
+            keep_from = 0
+            for i in range(1, len(times)):
+                if times[i] <= before:
+                    keep_from = i
+                else:
+                    break
+            if keep_from > 0:
+                self._times[b] = [None] + times[keep_from + 1:]
+                self._workers[b] = [self._workers[b][keep_from]] + self._workers[b][
+                    keep_from + 1:
+                ]
+
+    def snapshot(self) -> BinnedConfiguration:
+        """The latest integrated configuration."""
+        return BinnedConfiguration(
+            tuple(self._workers[b][-1] for b in range(self.num_bins))
+        )

@@ -1,0 +1,170 @@
+"""Bin-granular snapshots: programmable fine-grained checkpoints.
+
+Paper §4.4 (fault tolerance): "Megaphone's migration mechanisms effectively
+provide programmable snapshots on finer granularities, which could feed
+back into finer-grained fault-tolerance mechanisms."  A migration already
+produces a consistent, timestamp-aligned serialization of a bin — a
+snapshot is the same extraction without the move.
+
+:class:`SnapshotCoordinator` waits (via the S output probe) until a chosen
+logical time has fully passed, then captures every bin's state and pending
+records.  The result can rebuild the operator's state in a fresh dataflow
+through :func:`restore_into`.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.megaphone.bins import Bin
+from repro.megaphone.operators import MigrateableOperator
+from repro.timely.dataflow import Runtime
+from repro.timely.timestamp import Timestamp
+
+
+@dataclass
+class BinSnapshot:
+    """One bin's frozen state."""
+
+    bin_id: int
+    worker: int
+    state: object
+    pending: list  # [(time, entry)]
+    size_bytes: float
+
+
+@dataclass
+class OperatorSnapshot:
+    """A consistent snapshot of one migrateable operator.
+
+    The cut contains every update at or before ``time``; if the frontier
+    jumped past several epochs at once, the cut extends to the frontier
+    recorded in ``frontier_at_capture`` (it is always a consistent
+    timestamp prefix — exactly the guarantee a migration relies on).
+    """
+
+    name: str
+    time: Timestamp
+    captured_at: float
+    frontier_at_capture: tuple = ()
+    bins: dict[int, BinSnapshot] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(b.size_bytes for b in self.bins.values())
+
+    def assignment(self) -> dict[int, int]:
+        """bin id -> worker at capture time."""
+        return {b.bin_id: b.worker for b in self.bins.values()}
+
+
+class SnapshotCoordinator:
+    """Captures an operator's bins once a logical time has fully passed.
+
+    The trigger is the same condition F uses to start a migration: when
+    ``time`` can no longer appear in the S output frontier, every update
+    before it has been applied, so copying the bins yields a consistent
+    cut at ``time``.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        op: MigrateableOperator,
+        probe,
+        time: Timestamp,
+        on_complete: Optional[Callable[[OperatorSnapshot], None]] = None,
+    ) -> None:
+        self._runtime = runtime
+        self._op = op
+        self._probe = probe
+        self._time = time
+        self._on_complete = on_complete
+        self.snapshot: Optional[OperatorSnapshot] = None
+        probe.on_advance(self._check)
+        # The time may already have passed.
+        self._check(None)
+
+    def _check(self, _frontier) -> None:
+        if self.snapshot is not None or not self._probe.passed(self._time):
+            return
+        snapshot = OperatorSnapshot(
+            name=self._op.config.name,
+            time=self._time,
+            captured_at=self._runtime.sim.now,
+            frontier_at_capture=tuple(self._probe.frontier().elements()),
+        )
+        for worker in range(self._runtime.num_workers):
+            shared = self._runtime.workers[worker].shared
+            store = shared.get(f"megaphone:{self._op.config.name}")
+            if store is None:
+                continue
+            for bin_id in store.resident_bins():
+                bin_ = store.get(bin_id)
+                snapshot.bins[bin_id] = BinSnapshot(
+                    bin_id=bin_id,
+                    worker=worker,
+                    state=copy.deepcopy(bin_.state),
+                    pending=[
+                        (time, copy.deepcopy(entry))
+                        for time, entry in _peek_pending(bin_)
+                    ],
+                    size_bytes=store.state_size(bin_id),
+                )
+        self.snapshot = snapshot
+        if self._on_complete is not None:
+            self._on_complete(snapshot)
+
+
+def _peek_pending(bin_: Bin) -> list:
+    """Read a bin's pending entries without disturbing the queue."""
+    entries = bin_.pending.drain()
+    bin_.pending.extend(entries)
+    return entries
+
+
+def restore_into(
+    runtime: Runtime, op: MigrateableOperator, snapshot: OperatorSnapshot
+) -> None:
+    """Install a snapshot into a *fresh* (not yet fed) operator.
+
+    Bins are placed on the workers recorded in the snapshot; the operator's
+    initial configuration must match that placement (build it with
+    ``BinnedConfiguration`` over ``snapshot.assignment()``), otherwise F's
+    routing table and the stores would disagree.
+    """
+    for bin_snapshot in snapshot.bins.values():
+        shared = runtime.workers[bin_snapshot.worker].shared
+        key = f"megaphone:{op.config.name}"
+        store = shared.get(key)
+        if store is None:
+            # Materialize the store exactly as S would on first use.
+            from repro.megaphone.bins import BinStore
+
+            store = BinStore(
+                op.config.num_bins,
+                op.config.state_factory,
+                op.config.state_size_fn,
+                bytes_per_key=runtime.cluster.cost.state_bytes_per_key,
+            )
+            for bin_id in op.config.initial.bins_of(bin_snapshot.worker):
+                store.create(bin_id)
+            shared[key] = store
+        if store.has(bin_snapshot.bin_id):
+            bin_ = store.get(bin_snapshot.bin_id)
+        else:
+            raise ValueError(
+                f"bin {bin_snapshot.bin_id} is not placed on worker "
+                f"{bin_snapshot.worker} in the target configuration"
+            )
+        bin_.state = copy.deepcopy(bin_snapshot.state)
+        bin_.pending.extend(copy.deepcopy(bin_snapshot.pending))
+        # Re-register notifications for the restored pending work, exactly
+        # as S does when a migrated bin arrives.
+        s_logic = runtime.logic_of(bin_snapshot.worker, op.s_op)
+        ctx = runtime.workers[bin_snapshot.worker].contexts[op.s_op]
+        for pending_time in bin_.pending.times():
+            s_logic._schedule_bin(ctx, pending_time, bin_snapshot.bin_id)
+        runtime.mark_progress()

@@ -1,0 +1,151 @@
+"""Deterministic NEXMark event generator.
+
+A Python port of the structural behaviour of the reference generator the
+paper drives its harness with:
+
+* events arrive in a fixed 50-event cycle — 1 person, 3 auctions, 46 bids;
+* person and auction ids increase monotonically;
+* at any moment the ``active_auctions`` most recent auctions are open; bids
+  target them uniformly, except that a configurable fraction goes to the
+  few hottest (most recent) auctions;
+* replaying faster does not change the active-auction count — auctions
+  simply live shorter — which is exactly the paper's justification for
+  time-dilating Q5 and Q8.
+
+The generator is deterministic per ``(seed, worker)`` and produces records
+whose ``date_time`` is the (optionally dilated) epoch timestamp, so event
+time and dataflow time stay aligned.
+"""
+
+from __future__ import annotations
+
+from repro.harness.openloop import Lcg
+from repro.nexmark.config import NexmarkConfig
+from repro.nexmark.model import (
+    Auction,
+    Bid,
+    Person,
+    FIRST_NAMES,
+    LAST_NAMES,
+    US_CITIES,
+    US_STATES,
+)
+
+
+class NexmarkGenerator:
+    """Event source for one worker."""
+
+    def __init__(self, config: NexmarkConfig, worker: int, seed: int = 1) -> None:
+        self.config = config
+        self.worker = worker
+        self._lcg = Lcg(seed * 7919 + worker)
+        self._events = 0
+        self._next_person = worker
+        self._next_auction = worker
+        self._person_stride = 1
+        self._auction_stride = 1
+
+    def configure_strides(self, num_workers: int) -> None:
+        """Give each worker a disjoint id space (ids stay monotone)."""
+        self._person_stride = num_workers
+        self._auction_stride = num_workers
+
+    # -- record construction ---------------------------------------------------
+
+    def _make_person(self, time_ms: int) -> Person:
+        pid = self._next_person
+        self._next_person += self._person_stride
+        r = self._lcg.next()
+        name = (
+            f"{FIRST_NAMES[r % len(FIRST_NAMES)]} "
+            f"{LAST_NAMES[(r >> 8) % len(LAST_NAMES)]}"
+        )
+        idx = (r >> 16) % len(US_STATES)
+        return Person(
+            id=pid,
+            name=name,
+            email=f"user{pid}@example.com",
+            city=US_CITIES[idx],
+            state=US_STATES[idx],
+            date_time=time_ms,
+        )
+
+    def _make_auction(self, time_ms: int) -> Auction:
+        aid = self._next_auction
+        self._next_auction += self._auction_stride
+        r = self._lcg.next()
+        seller = self._recent_person_id(r)
+        return Auction(
+            id=aid,
+            item_name=f"item-{aid}",
+            initial_bid=1 + r % 100,
+            reserve=1 + r % 1000,
+            date_time=time_ms,
+            expires=time_ms + self.config.auction_duration_ms,
+            seller=seller,
+            category=1 + (r >> 20) % self.config.num_categories,
+        )
+
+    def _make_bid(self, time_ms: int) -> Bid:
+        r = self._lcg.next()
+        return Bid(
+            auction=self._pick_auction(r),
+            bidder=self._recent_person_id(r >> 12),
+            price=100 + r % 10_000,
+            date_time=time_ms,
+        )
+
+    def _recent_person_id(self, r: int) -> int:
+        newest = max(self._next_person - self._person_stride, 0)
+        window = 50 * self._person_stride
+        offset = (r % 50) * self._person_stride
+        return max(newest - min(offset, newest), newest % self._person_stride)
+
+    def _pick_auction(self, r: int) -> int:
+        cfg = self.config
+        newest = max(self._next_auction - self._auction_stride, 0)
+        if r % cfg.hot_auction_ratio == 0:
+            span = cfg.hot_auction_count
+        else:
+            span = cfg.active_auctions
+        offset = ((r >> 8) % span) * self._auction_stride
+        return max(newest - min(offset, newest), newest % self._auction_stride)
+
+    # -- the harness-facing surface ----------------------------------------------
+
+    def generate(self, epoch_ms: int, count: int) -> list:
+        """The next ``count`` events, stamped with the epoch's event time.
+
+        ``epoch_ms`` is already in the (possibly dilated) event-time domain:
+        the open-loop source multiplies processing-time epochs by the
+        configured dilation before calling the generator, so event time and
+        dataflow timestamps coincide.
+        """
+        time_ms = epoch_ms
+        cfg = self.config
+        cycle = cfg.events_per_cycle
+        out = []
+        for _ in range(count):
+            slot = self._events % cycle
+            self._events += 1
+            if slot < cfg.person_proportion:
+                out.append(self._make_person(time_ms))
+            elif slot < cfg.person_proportion + cfg.auction_proportion:
+                out.append(self._make_auction(time_ms))
+            else:
+                out.append(self._make_bid(time_ms))
+        return out
+
+
+def make_generator(config: NexmarkConfig, num_workers: int, seed: int = 1):
+    """A harness generator function backed by per-worker NexmarkGenerators."""
+    generators: dict[int, NexmarkGenerator] = {}
+
+    def generate(worker: int, epoch_ms: int, count: int) -> list:
+        gen = generators.get(worker)
+        if gen is None:
+            gen = generators[worker] = NexmarkGenerator(config, worker, seed)
+            gen.configure_strides(num_workers)
+        return gen.generate(epoch_ms, count)
+
+    return generate

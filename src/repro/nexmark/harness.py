@@ -1,0 +1,66 @@
+"""NEXMark experiment harness: run any query under load and migrations.
+
+Bridges the query implementations to the generic
+:class:`repro.harness.experiment.MigrationExperiment`: the builder splits
+the generated event stream into the three NEXMark relations, instantiates
+the chosen query in its native or Megaphone variant, and wires the latency
+probe to the query's output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult, MigrationExperiment
+from repro.nexmark.config import NexmarkConfig
+from repro.nexmark.generator import make_generator
+from repro.nexmark.queries import QUERIES
+from repro.nexmark.queries.common import split_events
+
+STATEFUL_QUERIES = (3, 4, 5, 6, 7, 8)
+
+
+def run_nexmark_experiment(
+    query: int,
+    cfg: ExperimentConfig,
+    nexmark: Optional[NexmarkConfig] = None,
+    native: Optional[bool] = None,
+) -> ExperimentResult:
+    """Run NEXMark query ``query`` (1-8) under ``cfg``.
+
+    ``native`` overrides ``cfg.native``.  Stateful queries use the
+    Megaphone variant by default; migrations (if scheduled in ``cfg``)
+    apply to the query's main operator.
+    """
+    if query not in QUERIES:
+        raise ValueError(f"unknown NEXMark query {query}; implemented: {sorted(QUERIES)}")
+    if nexmark is None:
+        nexmark = NexmarkConfig(dilation=cfg.dilation)
+    use_native = cfg.native if native is None else native
+    module = QUERIES[query]
+
+    def build(df, control, data, config):
+        streams = split_events(data)
+        if use_native:
+            out, _op = module.native(streams, nexmark)
+            control.sink(name="control_sink")
+            op = None
+        else:
+            out, op = module.megaphone(
+                control, streams, nexmark, config.num_bins
+            )
+
+        state_bytes_fn = None
+        if op is not None:
+            name = op.config.name
+
+            def state_bytes_fn(worker: int, _name=name) -> float:
+                runtime = df._runtime
+                store = runtime.workers[worker].shared.get(f"megaphone:{_name}")
+                return store.total_state_size() if store is not None else 0.0
+
+        return out, op, state_bytes_fn
+
+    generator = make_generator(nexmark, cfg.num_workers, seed=cfg.seed)
+    experiment = MigrationExperiment(cfg, build, generator)
+    return experiment.run()

@@ -1,0 +1,71 @@
+"""NEXMark data model: persons, auctions, bids.
+
+Field layout follows the NEXMark specification (Tucker et al., 2002) as
+adopted by the paper's reference generator: an auction site where persons
+open auctions in categories and place bids.  ``date_time`` fields are
+integer event-time milliseconds (the dataflow timestamp domain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PERSON_KIND = "person"
+AUCTION_KIND = "auction"
+BID_KIND = "bid"
+
+
+@dataclass(frozen=True)
+class Person:
+    """A registered user who may sell or bid."""
+
+    id: int
+    name: str
+    email: str
+    city: str
+    state: str
+    date_time: int
+
+
+@dataclass(frozen=True)
+class Auction:
+    """An item listed for sale."""
+
+    id: int
+    item_name: str
+    initial_bid: int
+    reserve: int
+    date_time: int
+    expires: int
+    seller: int
+    category: int
+
+
+@dataclass(frozen=True)
+class Bid:
+    """A bid on an open auction."""
+
+    auction: int
+    bidder: int
+    price: int
+    date_time: int
+
+
+def kind_of(record: object) -> str:
+    """The NEXMark kind tag of a record."""
+    if isinstance(record, Person):
+        return PERSON_KIND
+    if isinstance(record, Auction):
+        return AUCTION_KIND
+    if isinstance(record, Bid):
+        return BID_KIND
+    raise TypeError(f"not a NEXMark record: {type(record).__name__}")
+
+
+US_STATES = ("OR", "ID", "CA", "WA", "AZ", "NV", "UT", "MT", "NM", "CO")
+US_CITIES = (
+    "Portland", "Boise", "Sacramento", "Seattle", "Phoenix",
+    "Reno", "Provo", "Helena", "Santa Fe", "Denver",
+)
+FIRST_NAMES = ("Walter", "Ada", "Grace", "Alan", "Edsger", "Barbara", "John", "Frances")
+LAST_NAMES = ("Ritchie", "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Backus")

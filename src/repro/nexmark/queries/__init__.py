@@ -1,0 +1,28 @@
+"""The eight NEXMark standing queries, each in two variants.
+
+``native(streams, cfg)`` is the hand-tuned timely implementation;
+``megaphone(control, streams, cfg, num_bins, initial=None)`` is built on
+Megaphone's reconfigurable operator interface.  Both return
+``(output_stream, migrateable_operator_or_None)``.
+"""
+
+from repro.nexmark.queries import q1, q2, q3, q4, q5, q6, q7, q8
+from repro.nexmark.queries.common import (
+    ClosedAuction,
+    NexmarkStreams,
+    closed_auctions_megaphone,
+    closed_auctions_native,
+    split_events,
+)
+
+QUERIES = {1: q1, 2: q2, 3: q3, 4: q4, 5: q5, 6: q6, 7: q7, 8: q8}
+
+__all__ = [
+    "ClosedAuction",
+    "NexmarkStreams",
+    "QUERIES",
+    "closed_auctions_megaphone",
+    "closed_auctions_native",
+    "split_events",
+    "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8",
+]

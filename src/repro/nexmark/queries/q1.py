@@ -1,0 +1,45 @@
+"""NEXMark Query 1: currency conversion (stateless map).
+
+Every bid's price is converted from dollars to euros.  The query holds no
+state, so migrations move nothing — the paper uses it (Figure 5) to show
+the harness baseline.
+"""
+
+from __future__ import annotations
+
+from repro.nexmark.config import NexmarkConfig
+from repro.nexmark.model import Bid
+from repro.nexmark.queries.common import NexmarkStreams
+
+RATE_NUM = 908
+RATE_DEN = 1000
+
+
+def _convert(bid: Bid) -> Bid:
+    return Bid(
+        auction=bid.auction,
+        bidder=bid.bidder,
+        price=bid.price * RATE_NUM // RATE_DEN,
+        date_time=bid.date_time,
+    )
+
+
+def native(streams: NexmarkStreams, cfg: NexmarkConfig):
+    """Hand-tuned Q1."""
+    return streams.bids.map(_convert, name="q1"), None
+
+
+def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
+              num_bins: int, initial=None):
+    """Megaphone Q1: the same map expressed as a (stateless) stateful op."""
+    from repro.megaphone.api import unary
+
+    def fold(time, data, state, notificator):
+        return [_convert(bid) for bid in data]
+
+    op = unary(
+        control, streams.bids,
+        exchange=lambda b: b.auction,
+        fold=fold, num_bins=num_bins, initial=initial, name="q1",
+    )
+    return op.output, op

@@ -1,0 +1,34 @@
+"""NEXMark Query 2: selection (stateless filter).
+
+Keep bids on a sample of auctions (auction id divisible by a constant).
+Stateless; Figure 6's baseline.
+"""
+
+from __future__ import annotations
+
+from repro.nexmark.config import NexmarkConfig
+from repro.nexmark.queries.common import NexmarkStreams
+
+DIVISOR = 123
+
+
+def native(streams: NexmarkStreams, cfg: NexmarkConfig):
+    """Hand-tuned Q2."""
+    out = streams.bids.filter(lambda b: b.auction % DIVISOR == 0, name="q2")
+    return out, None
+
+
+def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
+              num_bins: int, initial=None):
+    """Megaphone Q2."""
+    from repro.megaphone.api import unary
+
+    def fold(time, data, state, notificator):
+        return [b for b in data if b.auction % DIVISOR == 0]
+
+    op = unary(
+        control, streams.bids,
+        exchange=lambda b: b.auction,
+        fold=fold, num_bins=num_bins, initial=initial, name="q2",
+    )
+    return op.output, op

@@ -1,0 +1,60 @@
+"""NEXMark Query 4: average closing price per category.
+
+Closed auctions (the winning-bid subplan shared with Q6) feed a per-category
+running average.  The active-auction state is bounded because the generator
+keeps a fixed number of auctions open (paper Figure 8).
+"""
+
+from __future__ import annotations
+
+from repro.nexmark.config import NexmarkConfig
+from repro.nexmark.queries.common import (
+    NexmarkStreams,
+    closed_auctions_megaphone,
+    closed_auctions_native,
+)
+from repro.timely.graph import Exchange
+
+
+class _NativeCategoryAverageLogic:
+    """Hand-tuned per-category running average."""
+
+    def __init__(self, worker_id: int) -> None:
+        self._sums: dict[int, list] = {}
+
+    def on_input(self, ctx, port, time, records):
+        out = []
+        for closed in records:
+            entry = self._sums.setdefault(closed.category, [0, 0])
+            entry[0] += closed.price
+            entry[1] += 1
+            out.append((closed.category, entry[0] // entry[1]))
+        ctx.send(0, time, out)
+
+
+def native(streams: NexmarkStreams, cfg: NexmarkConfig):
+    """Hand-tuned Q4."""
+    closed = closed_auctions_native(streams)
+    out = closed.unary(
+        "q4_avg",
+        lambda worker_id: _NativeCategoryAverageLogic(worker_id),
+        pact=Exchange(lambda c: c.category),
+    )
+    return out, None
+
+
+def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
+              num_bins: int, initial=None):
+    """Megaphone Q4: migrateable winning-bid subplan + category average.
+
+    The migrated operator is the auction-keyed accumulator (the query's
+    main state holder); the small category average stays native, as in the
+    paper where only the main operator of each dataflow migrates.
+    """
+    op = closed_auctions_megaphone(control, streams, cfg, num_bins, initial)
+    out = op.output.unary(
+        "q4_avg",
+        lambda worker_id: _NativeCategoryAverageLogic(worker_id),
+        pact=Exchange(lambda c: c.category),
+    )
+    return out, op

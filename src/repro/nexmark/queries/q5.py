@@ -1,0 +1,166 @@
+"""NEXMark Query 5: hot items (sliding-window count).
+
+Report, every period, the auctions with the most bids over the trailing
+window.  The paper dilates time so the sixty-minute window ticks once per
+second of processing time (Figure 9); the window and period come from the
+NexmarkConfig.  State: up to window/period counts per auction, so counts
+can be both reported and retracted as the window slides.
+"""
+
+from __future__ import annotations
+
+from repro.nexmark.config import NexmarkConfig
+from repro.nexmark.queries.common import NexmarkStreams
+from repro.timely.graph import Exchange
+
+
+def _bucket(time_ms: int, period_ms: int) -> int:
+    return time_ms - time_ms % period_ms
+
+
+class _NativeHotItemsLogic:
+    """Hand-tuned sliding-window bid counter, keyed by auction."""
+
+    def __init__(self, cfg: NexmarkConfig, worker_id: int) -> None:
+        self._cfg = cfg
+        self._counts: dict[int, dict[int, int]] = {}  # auction -> bucket -> n
+        self._flushes: set[int] = set()
+
+    def on_input(self, ctx, port, time, records):
+        cfg = self._cfg
+        for bid in records:
+            bucket = _bucket(bid.date_time, cfg.q5_period_ms)
+            buckets = self._counts.setdefault(bid.auction, {})
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+            flush_at = bucket + cfg.q5_period_ms
+            if flush_at not in self._flushes:
+                self._flushes.add(flush_at)
+                ctx.notify_at(flush_at)
+
+    def on_notify(self, ctx, time):
+        cfg = self._cfg
+        self._flushes.discard(time)
+        horizon = time - cfg.q5_window_ms
+        best_auction, best_count = None, 0
+        for auction, buckets in list(self._counts.items()):
+            stale = [b for b in buckets if b < horizon]
+            for b in stale:
+                del buckets[b]
+            if not buckets:
+                del self._counts[auction]
+                continue
+            # Only fully closed buckets (strictly before the window end)
+            # count; later buckets may still be filling.
+            total = sum(n for b, n in buckets.items() if b < time)
+            if total > best_count:
+                best_auction, best_count = auction, total
+        if best_auction is not None:
+            ctx.send(0, time, [(time, best_auction, best_count)])
+        if self._counts:
+            # Keep reporting every period while any counts remain in the
+            # window, even without fresh bids (granularity-invariant).
+            flush_at = time + cfg.q5_period_ms
+            if flush_at not in self._flushes:
+                self._flushes.add(flush_at)
+                ctx.notify_at(flush_at)
+
+
+class _NativeGlobalMaxLogic:
+    """Pick the overall winner among per-worker candidates.
+
+    Candidate records are internal aggregates (one per reporting unit per
+    window), far rarer and cheaper than data records; their cost is a
+    progress update, not a full record application.
+    """
+
+    def __init__(self, worker_id: int) -> None:
+        self._candidates: dict[int, tuple] = {}
+
+    def input_cost(self, ctx, port, records, size_bytes):
+        return len(records) * ctx.cost.progress_update_cost
+
+    def on_input(self, ctx, port, time, records):
+        for window, auction, count in records:
+            best = self._candidates.get(window)
+            if best is None or count > best[1]:
+                self._candidates[window] = (auction, count)
+                ctx.notify_at(window)
+
+    def on_notify(self, ctx, time):
+        best = self._candidates.pop(time, None)
+        if best is not None:
+            ctx.send(0, time, [(time,) + best])
+
+
+def native(streams: NexmarkStreams, cfg: NexmarkConfig):
+    """Hand-tuned Q5."""
+    local = streams.bids.unary(
+        "q5_counts",
+        lambda worker_id: _NativeHotItemsLogic(cfg, worker_id),
+        pact=Exchange(lambda b: b.auction),
+    )
+    out = local.unary(
+        "q5_max",
+        lambda worker_id: _NativeGlobalMaxLogic(worker_id),
+        pact=Exchange(lambda r: 0),
+    )
+    return out, None
+
+
+def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
+              num_bins: int, initial=None):
+    """Megaphone Q5: the windowed counter is the migrateable operator."""
+    from repro.megaphone.api import unary
+
+    def fold(time, data, state, notificator):
+        out = []
+        for record in data:
+            if isinstance(record, tuple):  # post-dated ("flush", window_end)
+                _, window_end = record
+                state.get("flushes", set()).discard(window_end)
+                horizon = window_end - cfg.q5_window_ms
+                counts = state.get("counts", {})
+                best_auction, best_count = None, 0
+                for auction, buckets in list(counts.items()):
+                    for b in [b for b in buckets if b < horizon]:
+                        del buckets[b]
+                    if not buckets:
+                        del counts[auction]
+                        continue
+                    total = sum(n for b, n in buckets.items() if b < window_end)
+                    if total > best_count:
+                        best_auction, best_count = auction, total
+                if best_auction is not None:
+                    out.append((window_end, best_auction, best_count))
+                if counts:
+                    flushes = state.setdefault("flushes", set())
+                    next_flush = window_end + cfg.q5_period_ms
+                    if next_flush not in flushes:
+                        flushes.add(next_flush)
+                        notificator.notify_at(next_flush, ("flush", next_flush))
+            else:
+                bucket = _bucket(record.date_time, cfg.q5_period_ms)
+                counts = state.setdefault("counts", {})
+                buckets = counts.setdefault(record.auction, {})
+                buckets[bucket] = buckets.get(bucket, 0) + 1
+                flush_at = bucket + cfg.q5_period_ms
+                flushes = state.setdefault("flushes", set())
+                if flush_at not in flushes:
+                    flushes.add(flush_at)
+                    notificator.notify_at(flush_at, ("flush", flush_at))
+        return out
+
+    op = unary(
+        control, streams.bids,
+        exchange=lambda b: b.auction,
+        fold=fold, num_bins=num_bins, initial=initial, name="q5",
+        state_size_fn=lambda s: 16.0 * cfg.state_bytes_scale * sum(
+            len(b) for b in s.get("counts", {}).values()
+        ),
+    )
+    out = op.output.unary(
+        "q5_max",
+        lambda worker_id: _NativeGlobalMaxLogic(worker_id),
+        pact=Exchange(lambda r: 0),
+    )
+    return out, op

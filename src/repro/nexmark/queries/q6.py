@@ -1,0 +1,72 @@
+"""NEXMark Query 6: average selling price per seller (last ten auctions).
+
+Shares the winning-bid subplan with Q4; the per-seller operator keeps a
+bounded list of the ten most recent closing prices, but the set of sellers
+grows without bound (paper Figure 10).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.nexmark.config import NexmarkConfig
+from repro.nexmark.queries.common import (
+    NexmarkStreams,
+    closed_auctions_megaphone,
+    closed_auctions_native,
+)
+from repro.timely.graph import Exchange
+
+LAST_N = 10
+
+
+class _NativeSellerAverageLogic:
+    """Hand-tuned per-seller trailing average.
+
+    "Last ten" is order-sensitive, so same-time closings are buffered and
+    applied in deterministic (auction id) order at the notification.
+    """
+
+    def __init__(self, worker_id: int) -> None:
+        self._prices: dict[int, deque] = {}
+        self._pending: dict[int, list] = {}
+
+    def on_input(self, ctx, port, time, records):
+        if time not in self._pending:
+            self._pending[time] = []
+            ctx.notify_at(time)
+        self._pending[time].extend(records)
+
+    def on_notify(self, ctx, time):
+        out = []
+        for closed in sorted(self._pending.pop(time, ()), key=lambda c: c.auction):
+            prices = self._prices.get(closed.seller)
+            if prices is None:
+                prices = self._prices[closed.seller] = deque(maxlen=LAST_N)
+            prices.append(closed.price)
+            out.append((closed.seller, sum(prices) // len(prices)))
+        if out:
+            ctx.send(0, time, out)
+
+
+def native(streams: NexmarkStreams, cfg: NexmarkConfig):
+    """Hand-tuned Q6."""
+    closed = closed_auctions_native(streams)
+    out = closed.unary(
+        "q6_avg",
+        lambda worker_id: _NativeSellerAverageLogic(worker_id),
+        pact=Exchange(lambda c: c.seller),
+    )
+    return out, None
+
+
+def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
+              num_bins: int, initial=None):
+    """Megaphone Q6: migrateable subplan + native trailing average."""
+    op = closed_auctions_megaphone(control, streams, cfg, num_bins, initial)
+    out = op.output.unary(
+        "q6_avg",
+        lambda worker_id: _NativeSellerAverageLogic(worker_id),
+        pact=Exchange(lambda c: c.seller),
+    )
+    return out, op

@@ -1,0 +1,115 @@
+"""NEXMark Query 7: highest bid per window.
+
+Each window, report the highest bid.  Worker-local maxima are exchanged to
+a single worker for the global aggregate; state is a single value, so
+migrations are essentially free (paper Figure 11).
+"""
+
+from __future__ import annotations
+
+from repro.nexmark.config import NexmarkConfig
+from repro.nexmark.queries.common import NexmarkStreams
+from repro.timely.graph import Exchange
+
+
+def _window_end(time_ms: int, window_ms: int) -> int:
+    return time_ms - time_ms % window_ms + window_ms
+
+
+class _NativeLocalMaxLogic:
+    """Per-worker windowed maximum."""
+
+    def __init__(self, cfg: NexmarkConfig, worker_id: int) -> None:
+        self._cfg = cfg
+        self._best: dict[int, tuple] = {}
+
+    def on_input(self, ctx, port, time, records):
+        for bid in records:
+            end = _window_end(bid.date_time, self._cfg.q7_window_ms)
+            best = self._best.get(end)
+            if best is None:
+                ctx.notify_at(end)
+            if best is None or bid.price > best[1]:
+                self._best[end] = (bid.auction, bid.price)
+
+    def on_notify(self, ctx, time):
+        best = self._best.pop(time, None)
+        if best is not None:
+            ctx.send(0, time, [(time,) + best])
+
+
+class _NativeGlobalMaxLogic:
+    """Overall maximum across the per-worker candidates.
+
+    Candidates are internal aggregates: charged as progress updates.
+    """
+
+    def __init__(self, worker_id: int) -> None:
+        self._best: dict[int, tuple] = {}
+
+    def input_cost(self, ctx, port, records, size_bytes):
+        return len(records) * ctx.cost.progress_update_cost
+
+    def on_input(self, ctx, port, time, records):
+        for window, auction, price in records:
+            best = self._best.get(window)
+            if best is None:
+                ctx.notify_at(window)
+            if best is None or price > best[1]:
+                self._best[window] = (auction, price)
+
+    def on_notify(self, ctx, time):
+        best = self._best.pop(time, None)
+        if best is not None:
+            ctx.send(0, time, [(time,) + best])
+
+
+def native(streams: NexmarkStreams, cfg: NexmarkConfig):
+    """Hand-tuned Q7."""
+    local = streams.bids.unary(
+        "q7_local",
+        lambda worker_id: _NativeLocalMaxLogic(cfg, worker_id),
+        pact=Exchange(lambda b: b.auction),
+    )
+    out = local.unary(
+        "q7_max",
+        lambda worker_id: _NativeGlobalMaxLogic(worker_id),
+        pact=Exchange(lambda r: 0),
+    )
+    return out, None
+
+
+def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
+              num_bins: int, initial=None):
+    """Megaphone Q7: the local maximum is the migrateable operator."""
+    from repro.megaphone.api import unary
+
+    def fold(time, data, state, notificator):
+        out = []
+        for record in data:
+            if isinstance(record, tuple):  # post-dated ("emit", window_end)
+                _, end = record
+                best = state.pop(end, None)
+                if best is not None:
+                    out.append((end,) + best)
+            else:
+                end = _window_end(record.date_time, cfg.q7_window_ms)
+                best = state.get(end)
+                if best is None:
+                    notificator.notify_at(end, ("emit", end))
+                if best is None or record.price > best[1]:
+                    state[end] = (record.auction, record.price)
+        return out
+
+    op = unary(
+        control, streams.bids,
+        exchange=lambda b: b.auction,
+        fold=fold, num_bins=num_bins, initial=initial, name="q7",
+        state_size_fn=lambda s: 24.0 * cfg.state_bytes_scale * len(s),
+    )
+    out = op.output.unary(
+        "q7_max",
+        lambda worker_id: _NativeGlobalMaxLogic(worker_id),
+        pact=Exchange(lambda r: 0),
+    )
+    return out, op

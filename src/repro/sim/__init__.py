@@ -1,0 +1,27 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates Megaphone on a Rust timely dataflow runtime running on a
+four-machine cluster.  This package provides the Python substitute: a
+deterministic discrete-event simulator of that cluster, with an explicit cost
+model for CPU work, serialization, and network transfers, and an accounting
+memory model that stands in for Linux RSS measurements.
+
+Simulated time is measured in (floating point) seconds.
+"""
+
+from repro.sim.cost import CostModel
+from repro.sim.engine import Event, Simulator
+from repro.sim.memory import MemoryModel, MemoryTimeline
+from repro.sim.network import Cluster, Link, NetworkMessage, Process
+
+__all__ = [
+    "CostModel",
+    "Cluster",
+    "Event",
+    "Link",
+    "MemoryModel",
+    "MemoryTimeline",
+    "NetworkMessage",
+    "Process",
+    "Simulator",
+]

@@ -1,0 +1,183 @@
+"""Cluster and network model.
+
+The simulated cluster mirrors the paper's testbed topology: workers (threads)
+are grouped into processes, processes are connected by network links with
+finite bandwidth and non-zero latency, and messages between workers of the
+same process bypass the network.
+
+Links serialize transmissions: a message must wait for the link to drain the
+bytes queued ahead of it.  Bytes sitting in a link's send queue are charged
+to the sending process's memory model, which is what produces the all-at-once
+migration memory spikes of Figure 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.cost import CostModel
+from repro.sim.engine import Simulator
+from repro.sim.memory import MemoryModel
+
+
+@dataclass
+class NetworkMessage:
+    """A payload in flight between two workers.
+
+    ``on_transmitted`` (if set) fires once the bytes have left the sender's
+    queue — senders use it to release retained memory.
+    """
+
+    src_worker: int
+    dst_worker: int
+    size_bytes: float
+    payload: object
+    on_transmitted: Optional[Callable[[], None]] = None
+
+
+class Link:
+    """A directed, bandwidth-limited channel between two processes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bytes_per_s: float,
+        latency_s: float,
+    ) -> None:
+        self._sim = sim
+        self.bandwidth = bandwidth_bytes_per_s
+        self.latency = latency_s
+        self._busy_until = 0.0
+        self.queued_bytes = 0.0
+
+    def transmit(
+        self,
+        message: NetworkMessage,
+        on_delivered: Callable[[NetworkMessage], None],
+        on_transmitted: Optional[Callable[[NetworkMessage], None]] = None,
+    ) -> float:
+        """Queue ``message`` for transmission.
+
+        ``on_transmitted`` fires when the last byte leaves the send queue;
+        ``on_delivered`` fires one propagation latency later at the receiver.
+        Returns the delivery time.
+        """
+        start = max(self._sim.now, self._busy_until)
+        transmit_time = message.size_bytes / self.bandwidth if self.bandwidth else 0.0
+        done = start + transmit_time
+        self._busy_until = done
+        self.queued_bytes += message.size_bytes
+
+        def _transmitted() -> None:
+            self.queued_bytes -= message.size_bytes
+            if on_transmitted is not None:
+                on_transmitted(message)
+
+        self._sim.schedule_at(done, _transmitted)
+        delivery = done + self.latency
+        self._sim.schedule_at(delivery, lambda: on_delivered(message))
+        return delivery
+
+    @property
+    def busy_until(self) -> float:
+        """Simulated time at which the link's send queue drains."""
+        return self._busy_until
+
+
+@dataclass
+class Process:
+    """An OS process hosting a contiguous range of workers."""
+
+    index: int
+    worker_ids: list[int]
+    memory: MemoryModel = field(default_factory=MemoryModel)
+
+
+class Cluster:
+    """Topology: workers grouped into processes, links between processes.
+
+    Delivery semantics:
+      * same worker: immediate (the caller pays CPU cost separately);
+      * same process, different worker: fixed ``intra_process_latency``;
+      * different processes: the directed link between the processes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_workers: int,
+        workers_per_process: int = 4,
+        bandwidth_bytes_per_s: float = 1.25e9,
+        network_latency_s: float = 40e-6,
+        intra_process_latency_s: float = 2e-6,
+        cost: Optional[CostModel] = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if workers_per_process <= 0:
+            raise ValueError("workers_per_process must be positive")
+        self.sim = sim
+        self.num_workers = num_workers
+        self.workers_per_process = workers_per_process
+        self.cost = cost if cost is not None else CostModel()
+        self.intra_process_latency = intra_process_latency_s
+
+        num_processes = (num_workers + workers_per_process - 1) // workers_per_process
+        self.processes: list[Process] = []
+        for p in range(num_processes):
+            lo = p * workers_per_process
+            hi = min(lo + workers_per_process, num_workers)
+            self.processes.append(Process(index=p, worker_ids=list(range(lo, hi))))
+
+        self._links: dict[tuple[int, int], Link] = {}
+        for src in range(num_processes):
+            for dst in range(num_processes):
+                if src != dst:
+                    self._links[(src, dst)] = Link(
+                        sim, bandwidth_bytes_per_s, network_latency_s
+                    )
+
+    def process_of(self, worker: int) -> Process:
+        """Process hosting ``worker``."""
+        return self.processes[worker // self.workers_per_process]
+
+    def link(self, src_process: int, dst_process: int) -> Link:
+        """The directed link between two distinct processes."""
+        return self._links[(src_process, dst_process)]
+
+    def send(
+        self,
+        message: NetworkMessage,
+        on_delivered: Callable[[NetworkMessage], None],
+    ) -> float:
+        """Route ``message`` from its source to its destination worker.
+
+        Returns the simulated delivery time.  Cross-process sends charge the
+        bytes to the sender's send-queue memory until transmitted.
+        """
+        src_proc = self.process_of(message.src_worker)
+        dst_proc = self.process_of(message.dst_worker)
+        if message.src_worker == message.dst_worker:
+            delivery = self.sim.now
+            if message.on_transmitted is not None:
+                message.on_transmitted()
+            self.sim.schedule(0.0, lambda: on_delivered(message))
+            return delivery
+        if src_proc.index == dst_proc.index:
+            delivery = self.sim.now + self.intra_process_latency
+            if message.on_transmitted is not None:
+                message.on_transmitted()
+            self.sim.schedule_at(delivery, lambda: on_delivered(message))
+            return delivery
+
+        src_proc.memory.add_send_queue(message.size_bytes)
+
+        def _transmitted(msg: NetworkMessage) -> None:
+            src_proc.memory.add_send_queue(-msg.size_bytes)
+            if msg.on_transmitted is not None:
+                msg.on_transmitted()
+
+        return self.link(src_proc.index, dst_proc.index).transmit(
+            message, on_delivered, _transmitted
+        )

@@ -1,0 +1,66 @@
+"""A simulated timely dataflow runtime.
+
+This package reproduces the substrate Megaphone is built on: Naiad-style
+timely dataflow with logical timestamps, set-valued frontiers (antichains),
+capabilities, exact progress tracking, data-parallel workers, and exchange
+channels — executed on the discrete-event cluster simulation in
+``repro.sim``.
+
+Import order note: importing this package also grafts the Stream
+combinators (map/filter/exchange/unary/...) onto ``Stream``.
+"""
+
+from repro.timely.antichain import Antichain, MutableAntichain
+from repro.timely.dataflow import (
+    Dataflow,
+    InputGroup,
+    InputHandle,
+    ProbeHandle,
+    Runtime,
+    Stream,
+)
+from repro.timely.graph import Broadcast, Exchange, GraphBuilder, Pact, Pipeline
+from repro.timely.notificator import PendingQueue
+from repro.timely import operators as _operators  # noqa: F401  (grafts Stream methods)
+from repro.timely.operators import FnLogic, concatenate
+from repro.timely.probe import Probe
+from repro.timely.progress import FrontierChange, ProgressTracker
+from repro.timely.timestamp import (
+    Timestamp,
+    in_advance_of,
+    join,
+    less_equal,
+    less_than,
+    meet,
+)
+from repro.timely.worker import OpContext, WorkerRuntime
+
+__all__ = [
+    "Antichain",
+    "Broadcast",
+    "Dataflow",
+    "Exchange",
+    "FnLogic",
+    "FrontierChange",
+    "GraphBuilder",
+    "InputGroup",
+    "InputHandle",
+    "MutableAntichain",
+    "OpContext",
+    "Pact",
+    "PendingQueue",
+    "Pipeline",
+    "Probe",
+    "ProbeHandle",
+    "ProgressTracker",
+    "Runtime",
+    "Stream",
+    "Timestamp",
+    "WorkerRuntime",
+    "concatenate",
+    "in_advance_of",
+    "join",
+    "less_equal",
+    "less_than",
+    "meet",
+]

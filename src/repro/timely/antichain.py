@@ -1,0 +1,144 @@
+"""Antichains and counted (mutable) antichains.
+
+A frontier (paper Definition 1) is an antichain: a set of mutually
+incomparable timestamps such that every message still in flight is in advance
+of some element.  ``Antichain`` is the immutable-ish set; ``MutableAntichain``
+tracks a multiset of timestamps with occurrence counts and incrementally
+maintains the antichain of its minimal elements, which is how progress
+tracking represents capabilities and in-flight message times.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Optional
+
+from repro.timely.timestamp import Timestamp, less_equal, less_than
+
+
+class Antichain:
+    """A minimal set of mutually incomparable timestamps.
+
+    The empty antichain means "nothing can ever arrive" (a closed frontier).
+    """
+
+    def __init__(self, elements: Iterable[Timestamp] = ()) -> None:
+        self._elements: list[Timestamp] = []
+        for element in elements:
+            self.insert(element)
+
+    def insert(self, time: Timestamp) -> bool:
+        """Insert ``time`` unless an existing element is <= it.
+
+        Removes any existing elements dominated by ``time``.  Returns True
+        when the element was inserted.
+        """
+        for existing in self._elements:
+            if less_equal(existing, time):
+                return False
+        self._elements = [e for e in self._elements if not less_equal(time, e)]
+        self._elements.append(time)
+        return True
+
+    def less_equal(self, time: Timestamp) -> bool:
+        """Is ``time`` in advance of this frontier (some element <= time)?"""
+        return any(less_equal(e, time) for e in self._elements)
+
+    def less_than(self, time: Timestamp) -> bool:
+        """Is some element strictly less than ``time``?"""
+        return any(less_than(e, time) for e in self._elements)
+
+    def dominates(self, other: "Antichain") -> bool:
+        """True when every element of ``other`` is in advance of self."""
+        return all(self.less_equal(t) for t in other)
+
+    def elements(self) -> list[Timestamp]:
+        """The antichain's elements (copy)."""
+        return list(self._elements)
+
+    def is_empty(self) -> bool:
+        """True when the frontier is closed (no timestamps remain)."""
+        return not self._elements
+
+    def __iter__(self) -> Iterator[Timestamp]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, time: Timestamp) -> bool:
+        return time in self._elements
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Antichain):
+            return NotImplemented
+        return sorted(map(repr, self._elements)) == sorted(map(repr, other._elements))
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key in hot paths
+        return hash(tuple(sorted(map(repr, self._elements))))
+
+    def __repr__(self) -> str:
+        return f"Antichain({sorted(map(repr, self._elements))})"
+
+
+class MutableAntichain:
+    """A multiset of timestamps exposing the antichain of its minima.
+
+    ``update`` adjusts occurrence counts; the ``frontier`` is recomputed
+    from live elements when counts change at or below it.  Counts must never
+    go negative — that indicates a progress-tracking accounting bug, and we
+    fail loudly.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self._frontier: Optional[Antichain] = Antichain()
+
+    def update(self, time: Timestamp, delta: int) -> bool:
+        """Adjust the count of ``time`` by ``delta``.
+
+        Returns True when the frontier may have changed (callers may then
+        re-read ``frontier()``).
+        """
+        if delta == 0:
+            return False
+        new_count = self._counts[time] + delta
+        if new_count < 0:
+            raise ValueError(
+                f"count for {time!r} would become negative ({new_count}); "
+                "progress accounting is corrupted"
+            )
+        if new_count == 0:
+            del self._counts[time]
+        else:
+            self._counts[time] = new_count
+        self._frontier = None
+        return True
+
+    def frontier(self) -> Antichain:
+        """Antichain of minimal live timestamps."""
+        if self._frontier is None:
+            frontier = Antichain()
+            for time in self._counts:
+                frontier.insert(time)
+            self._frontier = frontier
+        return self._frontier
+
+    def count(self, time: Timestamp) -> int:
+        """Occurrence count of ``time``."""
+        return self._counts.get(time, 0)
+
+    def is_empty(self) -> bool:
+        """True when no timestamps are live."""
+        return not self._counts
+
+    def total(self) -> int:
+        """Total number of live occurrences."""
+        return sum(self._counts.values())
+
+    def times(self) -> list[Timestamp]:
+        """All live timestamps (unordered copy)."""
+        return list(self._counts)
+
+    def __repr__(self) -> str:
+        return f"MutableAntichain({dict(self._counts)!r})"

@@ -1,0 +1,226 @@
+"""Generic timely dataflow operators and Stream combinators.
+
+These are the building blocks "native" (non-migrateable) implementations
+use: stateless transforms, exchanges, and the general ``unary``/``binary``
+frontier-aware operators that timely dataflow provides.  Megaphone's
+migrateable operators (``repro.megaphone.operators``) are built from the
+same pieces.
+
+The combinators are attached to :class:`repro.timely.dataflow.Stream` so
+user code reads like a timely program::
+
+    counts = (stream
+        .exchange(lambda kv: hash(kv[0]))
+        .unary("count", make_count_logic))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.timely.dataflow import ProbeHandle, Stream
+from repro.timely.graph import Broadcast, Exchange, Pact, Pipeline
+from repro.timely.timestamp import Timestamp
+
+
+class FnLogic:
+    """Operator logic assembled from plain functions.
+
+    Any of the hooks may be omitted.  ``on_input(ctx, port, time, records)``
+    handles data; ``on_frontier(ctx)`` observes progress; ``on_notify(ctx,
+    time)`` receives requested notifications; ``input_cost(ctx, port,
+    records, size_bytes)`` customizes the CPU cost model for a batch.
+    """
+
+    def __init__(
+        self,
+        on_input: Optional[Callable] = None,
+        on_frontier: Optional[Callable] = None,
+        on_notify: Optional[Callable] = None,
+        input_cost: Optional[Callable] = None,
+    ) -> None:
+        if on_input is not None:
+            self.on_input = on_input
+        if on_frontier is not None:
+            self.on_frontier = on_frontier
+        if on_notify is not None:
+            self.on_notify = on_notify
+        if input_cost is not None:
+            self.input_cost = input_cost
+
+    def on_input(self, ctx, port: int, time: Timestamp, records: list) -> None:
+        """Default: drop data silently (overridden via constructor)."""
+
+
+def _attach(name):
+    def decorator(fn):
+        setattr(Stream, name, fn)
+        return fn
+
+    return decorator
+
+
+@_attach("unary")
+def unary(
+    self: Stream,
+    name: str,
+    logic_factory: Callable[[int], object],
+    pact: Optional[Pact] = None,
+    n_outputs: int = 1,
+) -> Stream:
+    """Attach a single-input operator; returns its first output stream."""
+    outputs = self.dataflow.add_operator(
+        name=name,
+        inputs=[(self, pact if pact is not None else Pipeline())],
+        n_outputs=n_outputs,
+        logic_factory=logic_factory,
+    )
+    return outputs[0]
+
+
+@_attach("binary")
+def binary(
+    self: Stream,
+    other: Stream,
+    name: str,
+    logic_factory: Callable[[int], object],
+    pact1: Optional[Pact] = None,
+    pact2: Optional[Pact] = None,
+    n_outputs: int = 1,
+) -> Stream:
+    """Attach a two-input operator; returns its first output stream."""
+    outputs = self.dataflow.add_operator(
+        name=name,
+        inputs=[
+            (self, pact1 if pact1 is not None else Pipeline()),
+            (other, pact2 if pact2 is not None else Pipeline()),
+        ],
+        n_outputs=n_outputs,
+        logic_factory=logic_factory,
+    )
+    return outputs[0]
+
+
+@_attach("map")
+def map_stream(self: Stream, fn: Callable, name: str = "map") -> Stream:
+    """Per-record transformation (stateless, worker-local)."""
+
+    def factory(worker_id: int) -> FnLogic:
+        def on_input(ctx, port, time, records):
+            ctx.send(0, time, [fn(r) for r in records])
+
+        return FnLogic(on_input=on_input)
+
+    return unary(self, name, factory)
+
+
+@_attach("flat_map")
+def flat_map(self: Stream, fn: Callable, name: str = "flat_map") -> Stream:
+    """Per-record one-to-many transformation."""
+
+    def factory(worker_id: int) -> FnLogic:
+        def on_input(ctx, port, time, records):
+            out: list = []
+            for r in records:
+                out.extend(fn(r))
+            ctx.send(0, time, out)
+
+        return FnLogic(on_input=on_input)
+
+    return unary(self, name, factory)
+
+
+@_attach("filter")
+def filter_stream(self: Stream, predicate: Callable, name: str = "filter") -> Stream:
+    """Keep records satisfying ``predicate``."""
+
+    def factory(worker_id: int) -> FnLogic:
+        def on_input(ctx, port, time, records):
+            kept = [r for r in records if predicate(r)]
+            if kept:
+                ctx.send(0, time, kept)
+
+        return FnLogic(on_input=on_input)
+
+    return unary(self, name, factory)
+
+
+@_attach("exchange")
+def exchange(self: Stream, key_fn: Callable[[object], int], name: str = "exchange") -> Stream:
+    """Repartition the stream across workers by ``key_fn``."""
+
+    def factory(worker_id: int) -> FnLogic:
+        def on_input(ctx, port, time, records):
+            ctx.send(0, time, records)
+
+        return FnLogic(on_input=on_input)
+
+    return unary(self, name, factory, pact=Exchange(key_fn))
+
+
+@_attach("broadcast")
+def broadcast(self: Stream, name: str = "broadcast") -> Stream:
+    """Deliver every record to every worker."""
+
+    def factory(worker_id: int) -> FnLogic:
+        def on_input(ctx, port, time, records):
+            ctx.send(0, time, records)
+
+        return FnLogic(on_input=on_input)
+
+    return unary(self, name, factory, pact=Broadcast())
+
+
+@_attach("inspect")
+def inspect(self: Stream, fn: Callable, name: str = "inspect") -> Stream:
+    """Observe records in passing (``fn(worker_id, time, records)``)."""
+
+    def factory(worker_id: int) -> FnLogic:
+        def on_input(ctx, port, time, records):
+            fn(ctx.worker_id, time, records)
+            ctx.send(0, time, records)
+
+        return FnLogic(on_input=on_input)
+
+    return unary(self, name, factory)
+
+
+@_attach("sink")
+def sink(self: Stream, fn: Optional[Callable] = None, name: str = "sink") -> Stream:
+    """Consume the stream; optionally observe (``fn(worker_id, time, records)``)."""
+
+    def factory(worker_id: int) -> FnLogic:
+        def on_input(ctx, port, time, records):
+            if fn is not None:
+                fn(ctx.worker_id, time, records)
+
+        return FnLogic(on_input=on_input)
+
+    return unary(self, name, factory)
+
+
+@_attach("probe")
+def probe(self: Stream) -> ProbeHandle:
+    """Attach a probe observing this stream's frontier."""
+    return self.dataflow.probe(self)
+
+
+def concatenate(streams: list[Stream], name: str = "concat") -> Stream:
+    """Merge multiple streams of the same type into one."""
+    if not streams:
+        raise ValueError("need at least one stream")
+    dataflow = streams[0].dataflow
+
+    def factory(worker_id: int) -> FnLogic:
+        def on_input(ctx, port, time, records):
+            ctx.send(0, time, records)
+
+        return FnLogic(on_input=on_input)
+
+    outputs = dataflow.add_operator(
+        name=name,
+        inputs=[(s, Pipeline()) for s in streams],
+        n_outputs=1,
+        logic_factory=factory,
+    )
+    return outputs[0]

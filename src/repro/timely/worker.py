@@ -1,0 +1,483 @@
+"""Per-worker execution: activations, queues, operator contexts.
+
+Each worker is a simulated thread.  It keeps a FIFO of deliverable work
+(message batches and source emissions), a set of operators whose frontiers
+changed since their last activation, and a ``busy_until`` clock.  An
+*activation* is one simulated scheduling quantum: the worker delivers
+frontier callbacks and due notifications, processes a bounded number of
+queued batches, charges the modeled CPU cost, and emits any buffered sends
+at the activation's completion time.
+
+Progress-accounting discipline (what makes frontiers conservative and
+therefore correct):
+
+* in-flight counts are incremented the moment an operator *decides* to send
+  (even though bytes leave later), and decremented only once the receiving
+  activation's CPU work has completed (``busy_until``) — so backlog holds
+  frontiers back and is visible as latency;
+* notification requests and held capabilities are registered while the
+  triggering batch is still counted, so a published frontier can never
+  regress;
+* a transient "send guard" capability covers each buffered send until the
+  flush has charged its in-flight counts, closing the window between a
+  send decision and its accounting.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.network import NetworkMessage
+from repro.timely.antichain import Antichain
+from repro.timely.graph import ChannelDesc, OperatorDesc
+from repro.timely.timestamp import Timestamp, less_equal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.timely.dataflow import Runtime
+
+
+def _time_sort_key(time: Timestamp):
+    """Linear extension used to deliver notifications deterministically."""
+    if isinstance(time, tuple):
+        return (1, time)
+    return (0, (time,))
+
+
+class OpContext:
+    """The handle an operator's logic uses to interact with the runtime.
+
+    One context exists per (worker, operator) pair and lives for the whole
+    computation.
+    """
+
+    def __init__(self, runtime: "Runtime", worker: "WorkerRuntime", desc: OperatorDesc):
+        self._runtime = runtime
+        self._worker = worker
+        self._desc = desc
+        self._send_buffer: list[tuple[int, Timestamp, list, Optional[float], Optional[object]]] = []
+        self._notify_heap: list[tuple] = []
+        self._notify_pending: set[Timestamp] = set()
+        self._held_capabilities: dict[Timestamp, int] = {}
+        self._current_batch_time: Optional[Timestamp] = None
+        self._extra_cost = 0.0
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def worker_id(self) -> int:
+        """Id of the worker executing this operator instance."""
+        return self._worker.worker_id
+
+    @property
+    def num_workers(self) -> int:
+        """Total workers in the cluster."""
+        return self._runtime.num_workers
+
+    @property
+    def op_index(self) -> int:
+        """Index of this operator in the dataflow graph."""
+        return self._desc.index
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._runtime.sim.now
+
+    @property
+    def cost(self):
+        """The cluster's cost model."""
+        return self._runtime.cluster.cost
+
+    @property
+    def memory(self):
+        """Memory model of the process hosting this worker."""
+        return self._runtime.cluster.process_of(self.worker_id).memory
+
+    @property
+    def shared(self) -> dict:
+        """Per-worker dictionary shared by all operators on this worker.
+
+        Megaphone's F and S exchange a pointer to the bin state through this
+        (paper §4.2: "F can obtain a reference to bins by means of a shared
+        pointer", possible because both run on the same worker).
+        """
+        return self._worker.shared
+
+    # -- output ------------------------------------------------------------
+
+    def send(
+        self,
+        port: int,
+        time: Timestamp,
+        records: list,
+        size_bytes: Optional[float] = None,
+        on_transmitted=None,
+    ) -> None:
+        """Emit ``records`` at ``time`` on output ``port``.
+
+        The send must be justified by a held capability, the batch currently
+        being processed, or the operator's output frontier; otherwise the
+        operator could violate its published progress statements, and we
+        fail loudly instead.
+        """
+        if not self._can_send_at(time):
+            raise RuntimeError(
+                f"operator {self._desc.name!r} (worker {self.worker_id}) "
+                f"attempted to send at {time!r} without a justifying capability"
+            )
+        # Guard the send with a transient capability until the flush has
+        # charged the in-flight counts; otherwise releasing the justifying
+        # capability between the send decision and the flush could let the
+        # frontier advance past the outgoing batch.
+        self._runtime.tracker.capability_update(self._desc.index, time, +1)
+        self._send_buffer.append((port, time, records, size_bytes, on_transmitted))
+
+    def _can_send_at(self, time: Timestamp) -> bool:
+        if self._current_batch_time is not None and less_equal(
+            self._current_batch_time, time
+        ):
+            return True
+        for held in self._held_capabilities:
+            if less_equal(held, time):
+                return True
+        return self._runtime.tracker.output_frontier(self._desc.index).less_equal(time)
+
+    # -- notifications and capabilities -------------------------------------
+
+    def notify_at(self, time: Timestamp) -> None:
+        """Request a notification once the input frontiers pass ``time``.
+
+        Holds a capability at ``time`` so downstream frontiers cannot
+        overtake the pending work.  Duplicate requests coalesce.
+        """
+        if time in self._notify_pending:
+            return
+        if not self._can_send_at(time):
+            raise RuntimeError(
+                f"operator {self._desc.name!r} cannot request notification at "
+                f"{time!r}: time already passed"
+            )
+        self._notify_pending.add(time)
+        heapq.heappush(self._notify_heap, (_time_sort_key(time), time))
+        self._runtime.tracker.capability_update(self._desc.index, time, +1)
+        # The request may already be satisfiable (e.g. registered from a
+        # notification after the inputs closed); without another frontier
+        # movement nobody would re-activate us, so ask for a delivery pass.
+        self._worker.note_frontier(self._desc.index)
+
+    def hold_capability(self, time: Timestamp) -> None:
+        """Explicitly retain the right to send at ``time`` (and later)."""
+        if not self._can_send_at(time):
+            raise RuntimeError(
+                f"operator {self._desc.name!r} cannot hold capability at "
+                f"{time!r}: time already passed"
+            )
+        self._held_capabilities[time] = self._held_capabilities.get(time, 0) + 1
+        self._runtime.tracker.capability_update(self._desc.index, time, +1)
+
+    def release_capability(self, time: Timestamp) -> None:
+        """Release one previously held capability at ``time``."""
+        count = self._held_capabilities.get(time, 0)
+        if count <= 0:
+            raise RuntimeError(
+                f"operator {self._desc.name!r} released capability at {time!r} "
+                "it does not hold"
+            )
+        if count == 1:
+            del self._held_capabilities[time]
+        else:
+            self._held_capabilities[time] = count - 1
+        self._runtime.tracker.capability_update(self._desc.index, time, -1)
+
+    def held_capabilities(self) -> list[Timestamp]:
+        """Times at which this instance explicitly holds capabilities."""
+        return list(self._held_capabilities)
+
+    # -- frontier queries ----------------------------------------------------
+
+    def input_frontier(self, port: int = 0) -> Antichain:
+        """Frontier of this operator's input ``port``."""
+        return self._runtime.tracker.input_frontier(self._desc.index, port)
+
+    def output_frontier_of(self, op_index: int) -> Antichain:
+        """Output frontier of an arbitrary operator (probe semantics)."""
+        return self._runtime.tracker.output_frontier(op_index)
+
+    def all_inputs_passed(self, time: Timestamp) -> bool:
+        """True when no input can still deliver a message <= ``time``."""
+        for port in range(self._desc.n_inputs):
+            if self.input_frontier(port).less_equal(time):
+                return False
+        return True
+
+    # -- cost ---------------------------------------------------------------
+
+    def charge(self, seconds: float) -> None:
+        """Charge extra CPU seconds to the current activation."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative cost")
+        self._extra_cost += seconds
+
+    # -- used by the worker loop ---------------------------------------------
+
+    def _pop_due_notification(self) -> Optional[Timestamp]:
+        """Earliest deliverable notification, or None.
+
+        Must be re-evaluated after every delivery: a callback may register
+        an *earlier* (already due) time than the next pending one, and
+        notifications must fire in time order.
+        """
+        if self._notify_heap:
+            _, time = self._notify_heap[0]
+            if self.all_inputs_passed(time):
+                heapq.heappop(self._notify_heap)
+                self._notify_pending.discard(time)
+                return time
+        return None
+
+    def _take_sends(self) -> list[tuple[int, Timestamp, list, Optional[float], Optional[object]]]:
+        sends = self._send_buffer
+        self._send_buffer = []
+        return sends
+
+    def _take_extra_cost(self) -> float:
+        cost = self._extra_cost
+        self._extra_cost = 0.0
+        return cost
+
+
+class WorkerRuntime:
+    """One simulated worker thread executing all operator instances."""
+
+    def __init__(self, runtime: "Runtime", worker_id: int):
+        self._runtime = runtime
+        self.worker_id = worker_id
+        self.shared: dict = {}
+        self.contexts: list[OpContext] = []
+        self.logics: list[object] = []
+        self._work: deque = deque()
+        self._frontier_pending: set[int] = set()
+        self._busy_until = 0.0
+        self._activation_scheduled = False
+
+    @property
+    def busy_until(self) -> float:
+        """Simulated time at which current CPU work completes."""
+        return self._busy_until
+
+    def install(self, desc: OperatorDesc, logic: object) -> OpContext:
+        """Create the context for ``desc`` and remember its logic."""
+        assert desc.index == len(self.contexts)
+        ctx = OpContext(self._runtime, self, desc)
+        self.contexts.append(ctx)
+        self.logics.append(logic)
+        return ctx
+
+    # -- work intake -----------------------------------------------------------
+
+    def enqueue_message(
+        self, channel: ChannelDesc, time: Timestamp, records: list, size_bytes: float
+    ) -> None:
+        """A batch arrived on ``channel`` for this worker."""
+        self._work.append(("msg", channel, time, records, size_bytes))
+        self.activate()
+
+    def enqueue_source(self, op_index: int, time: Timestamp, records: list) -> None:
+        """The input handle of source ``op_index`` injected a batch."""
+        self._work.append(("source", op_index, time, records))
+        self.activate()
+
+    def note_frontier(self, op_index: int) -> None:
+        """An input frontier of ``op_index`` changed; deliver on next activation."""
+        self._frontier_pending.add(op_index)
+        self.activate()
+
+    def has_pending_work(self) -> bool:
+        """True when batches or frontier callbacks await processing."""
+        return bool(self._work) or bool(self._frontier_pending)
+
+    # -- activation loop ---------------------------------------------------------
+
+    def activate(self) -> None:
+        """Ensure an activation is scheduled at the earliest legal time."""
+        if self._activation_scheduled:
+            return
+        self._activation_scheduled = True
+        at = max(self._runtime.sim.now, self._busy_until)
+        self._runtime.sim.schedule_at(at, self._run_activation)
+
+    def _run_activation(self) -> None:
+        self._activation_scheduled = False
+        sim = self._runtime.sim
+        start = max(sim.now, self._busy_until)
+        cost = 0.0
+        sends: list[tuple[OpContext, int, Timestamp, list, Optional[float]]] = []
+        # Progress *decrements* (consumed messages, released capabilities)
+        # take effect when the CPU work completes, not when it starts —
+        # otherwise frontiers would advance before the cost of advancing
+        # them was paid, and backlog would be invisible to latency.
+        deferred: list = []
+
+        cost += self._deliver_frontiers(sends, deferred)
+
+        batches = self._runtime.batches_per_activation
+        for _ in range(batches):
+            if not self._work:
+                break
+            cost += self._process_one(self._work.popleft(), sends, deferred)
+
+        self._busy_until = start + cost
+        if sends:
+            self._flush_sends(sends, emit_at=self._busy_until)
+        if deferred:
+            def _apply() -> None:
+                for fn in deferred:
+                    fn()
+                self._runtime.mark_progress()
+
+            sim.schedule_at(self._busy_until, _apply)
+        if self.has_pending_work():
+            self.activate()
+        self._runtime.mark_progress()
+
+    def _deliver_frontiers(self, sends: list, deferred: list) -> float:
+        cost = 0.0
+        pending = sorted(self._frontier_pending)
+        self._frontier_pending.clear()
+        cost_model = self._runtime.cluster.cost
+        tracker = self._runtime.tracker
+        for op_index in pending:
+            ctx = self.contexts[op_index]
+            logic = self.logics[op_index]
+            on_frontier = getattr(logic, "on_frontier", None)
+            if on_frontier is not None:
+                on_frontier(ctx)
+                cost += cost_model.progress_update_cost
+            on_notify = getattr(logic, "on_notify", None)
+            while True:
+                time = ctx._pop_due_notification()
+                if time is None:
+                    break
+                ctx._current_batch_time = time
+                try:
+                    if on_notify is not None:
+                        on_notify(ctx, time)
+                finally:
+                    ctx._current_batch_time = None
+                deferred.append(
+                    lambda op=op_index, t=time: tracker.capability_update(op, t, -1)
+                )
+                cost += cost_model.progress_update_cost
+            cost += ctx._take_extra_cost()
+            sends.extend(
+                (ctx, port, time, records, size, on_tx)
+                for port, time, records, size, on_tx in ctx._take_sends()
+            )
+        return cost
+
+    def _process_one(self, item: tuple, sends: list, deferred: list) -> float:
+        cost_model = self._runtime.cluster.cost
+        tracker = self._runtime.tracker
+        kind = item[0]
+        if kind == "source":
+            _, op_index, time, records = item
+            ctx = self.contexts[op_index]
+            cost = (
+                cost_model.batch_overhead
+                + len(records) * cost_model.ingest_record_cost
+            )
+            ctx._current_batch_time = time
+            try:
+                ctx.send(0, time, records)
+            finally:
+                ctx._current_batch_time = None
+            # Release the per-batch capability InputHandle.send registered.
+            deferred.append(
+                lambda op=op_index, t=time: tracker.capability_update(op, t, -1)
+            )
+        else:
+            _, channel, time, records, size_bytes = item
+            op_index = channel.dst_op
+            ctx = self.contexts[op_index]
+            logic = self.logics[op_index]
+            input_cost = getattr(logic, "input_cost", None)
+            if input_cost is not None:
+                cost = cost_model.batch_overhead + input_cost(
+                    ctx, channel.dst_port, records, size_bytes
+                )
+            else:
+                cost = (
+                    cost_model.batch_overhead
+                    + len(records) * cost_model.record_cost
+                )
+            ctx._current_batch_time = time
+            try:
+                logic.on_input(ctx, channel.dst_port, time, records)
+            finally:
+                ctx._current_batch_time = None
+            deferred.append(
+                lambda ch=channel.index, t=time: tracker.message_consumed(ch, t)
+            )
+        cost += ctx._take_extra_cost()
+        sends.extend(
+            (ctx, port, t, recs, size, on_tx)
+            for port, t, recs, size, on_tx in ctx._take_sends()
+        )
+        return cost
+
+    def _flush_sends(self, sends: list, emit_at: float) -> None:
+        """Partition buffered sends and hand them to the network at ``emit_at``.
+
+        In-flight counts are charged immediately (conservative frontier);
+        bytes travel starting at ``emit_at``.
+        """
+        runtime = self._runtime
+        cost_model = runtime.cluster.cost
+        outgoing: list[tuple[ChannelDesc, int, Timestamp, list, float, object]] = []
+        for ctx, port, time, records, size_bytes, on_tx in sends:
+            for channel in runtime.channels_from(ctx.op_index, port):
+                parts = self._partition(channel, records)
+                for dst_worker, batch in parts.items():
+                    if size_bytes is None:
+                        bytes_ = len(batch) * cost_model.message_bytes_per_record
+                    else:
+                        # Explicit sizes (migrating state) are per-send,
+                        # split proportionally if fanned out.
+                        bytes_ = size_bytes * (len(batch) / max(len(records), 1))
+                    runtime.tracker.message_sent(channel.index, time)
+                    outgoing.append((channel, dst_worker, time, batch, bytes_, on_tx))
+            # In-flight counts now cover the batch: drop the send guard.
+            runtime.tracker.capability_update(ctx.op_index, time, -1)
+        if not outgoing:
+            return
+
+        def _dispatch() -> None:
+            for channel, dst_worker, time, batch, bytes_, on_tx in outgoing:
+                message = NetworkMessage(
+                    src_worker=self.worker_id,
+                    dst_worker=dst_worker,
+                    size_bytes=bytes_,
+                    payload=(channel, time, batch),
+                    on_transmitted=on_tx,
+                )
+                runtime.cluster.send(message, _deliver)
+
+        def _deliver(message: NetworkMessage) -> None:
+            channel, time, batch = message.payload
+            runtime.workers[message.dst_worker].enqueue_message(
+                channel, time, batch, message.size_bytes
+            )
+
+        runtime.sim.schedule_at(emit_at, _dispatch)
+
+    def _partition(self, channel: ChannelDesc, records: list) -> dict[int, list]:
+        num_workers = self._runtime.num_workers
+        pact = channel.pact
+        parts: dict[int, list] = {}
+        route = pact.route
+        for record in records:
+            for dst in route(record, num_workers, self.worker_id):
+                parts.setdefault(dst, []).append(record)
+        return parts

@@ -1,0 +1,61 @@
+"""Tests for gnuplot data export."""
+
+from repro.harness.export import (
+    ccdf_dat,
+    ccdf_script,
+    export_ccdf,
+    export_timeline,
+    scatter_dat,
+    timeline_dat,
+    timeline_script,
+)
+from repro.harness.latency import LatencyTimeline, LogHistogram
+
+
+def sample_timeline():
+    timeline = LatencyTimeline()
+    for i in range(8):
+        timeline.record(i * 0.25, 0.001 * (1 + i % 3))
+    return timeline
+
+
+def test_timeline_dat_format():
+    dat = timeline_dat(sample_timeline(), title="t")
+    lines = dat.strip().splitlines()
+    assert lines[0] == "# t"
+    assert lines[1].startswith("# time_s")
+    for line in lines[2:]:
+        parts = line.split()
+        assert len(parts) == 5
+        float(parts[0])  # parses
+
+
+def test_ccdf_dat_format():
+    hist = LogHistogram()
+    for i in range(1, 50):
+        hist.record(i / 1000)
+    dat = ccdf_dat(hist)
+    rows = [l for l in dat.splitlines() if not l.startswith("#")]
+    assert rows
+    fractions = [float(r.split()[1]) for r in rows]
+    assert fractions == sorted(fractions, reverse=True)
+
+
+def test_scatter_dat():
+    dat = scatter_dat([(1.5, 0.01, "fluid"), (0.2, 3.0, "all-at-once")])
+    assert "fluid" in dat and "all-at-once" in dat
+
+
+def test_scripts_reference_dat_file():
+    assert "'x.dat'" in timeline_script("x.dat")
+    assert "'y.dat'" in ccdf_script("y.dat")
+
+
+def test_export_writes_files(tmp_path):
+    dat, script = export_timeline(sample_timeline(), tmp_path, "fig")
+    assert dat.exists() and script.exists()
+    assert "fig.dat" in script.read_text()
+    hist = LogHistogram()
+    hist.record(0.01)
+    dat2, script2 = export_ccdf(hist, tmp_path / "sub", "ccdf")
+    assert dat2.exists() and script2.exists()

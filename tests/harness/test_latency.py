@@ -1,0 +1,83 @@
+"""Tests for histograms, timelines, and the latency recorder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harness.latency import LatencyTimeline, LogHistogram
+
+
+def test_histogram_percentiles_are_monotone():
+    hist = LogHistogram()
+    for latency in [0.001, 0.002, 0.004, 0.008, 0.1]:
+        hist.record(latency)
+    p25, p50, p99 = hist.percentile(0.25), hist.percentile(0.5), hist.percentile(0.99)
+    assert p25 <= p50 <= p99
+    assert hist.max_value == 0.1
+
+
+def test_histogram_empty():
+    hist = LogHistogram()
+    assert hist.is_empty()
+    assert hist.percentile(0.5) is None
+    assert hist.ccdf() == []
+
+
+def test_histogram_percentile_validates_quantile():
+    with pytest.raises(ValueError):
+        LogHistogram().percentile(1.5)
+
+
+def test_histogram_bucket_resolution():
+    hist = LogHistogram()
+    hist.record(0.010)
+    p = hist.percentile(1.0)
+    # Within one bucket (~19%) of the true value.
+    assert 0.010 <= p <= 0.0125
+
+
+def test_histogram_weighting():
+    hist = LogHistogram()
+    hist.record(0.001, weight=99)
+    hist.record(1.0, weight=1)
+    assert hist.percentile(0.5) < 0.01
+    assert hist.percentile(0.999) > 0.5
+    assert hist.total == 100
+
+
+def test_histogram_merge():
+    a, b = LogHistogram(), LogHistogram()
+    a.record(0.001, 5)
+    b.record(0.1, 5)
+    a.merge(b)
+    assert a.total == 10
+    assert a.max_value == 0.1
+
+
+def test_ccdf_is_monotone_decreasing():
+    hist = LogHistogram()
+    for i in range(1, 100):
+        hist.record(i / 1000.0)
+    fractions = [f for _, f in hist.ccdf()]
+    assert fractions == sorted(fractions, reverse=True)
+    assert fractions[-1] == 0.0
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=100.0), min_size=1, max_size=100))
+def test_property_percentiles_bounded_by_max(latencies):
+    hist = LogHistogram()
+    for latency in latencies:
+        hist.record(latency)
+    assert hist.percentile(1.0) <= max(latencies) * 1.2
+    assert hist.percentile(0.0) >= 0
+
+
+def test_timeline_windows_and_ranges():
+    timeline = LatencyTimeline(window_s=0.25)
+    timeline.record(0.1, 0.001)
+    timeline.record(0.3, 0.050)
+    timeline.record(0.6, 0.002)
+    series = timeline.series()
+    assert [s.start_s for s in series] == [0.0, 0.25, 0.5]
+    assert timeline.max_between(0.25, 0.5) == 0.050
+    assert timeline.max_outside(0.25, 0.5) == 0.002

@@ -1,0 +1,50 @@
+"""Shared test utilities: compact cluster/dataflow construction and drivers."""
+
+from repro.sim.cost import CostModel
+from repro.sim.engine import Simulator
+from repro.sim.network import Cluster
+from repro.timely.dataflow import Dataflow
+
+FAST_COST = CostModel(
+    record_cost=1e-6,
+    ingest_record_cost=0.5e-6,
+    batch_overhead=5e-6,
+    progress_update_cost=0.5e-6,
+)
+
+
+def make_dataflow(num_workers=2, workers_per_process=2, cost=FAST_COST, **cluster_kwargs):
+    """A small cluster + dataflow suitable for unit tests."""
+    sim = Simulator()
+    cluster = Cluster(
+        sim,
+        num_workers=num_workers,
+        workers_per_process=workers_per_process,
+        cost=cost,
+        **cluster_kwargs,
+    )
+    return Dataflow(cluster)
+
+
+def feed_epochs(runtime, group, batches, epoch_gap_s=0.001, start_s=0.0):
+    """Schedule per-epoch injections on worker 0 and advance all handles.
+
+    ``batches`` is a list of record lists; epoch ``i`` is injected at
+    simulated time ``start_s + i * epoch_gap_s`` with timestamp ``i``, after
+    which every handle advances to ``i + 1``.  Inputs are closed after the
+    last epoch.
+    """
+    sim = runtime.sim
+
+    def make_tick(i, records):
+        def tick():
+            group.handle(0).send(i, records)
+            group.advance_all(i + 1)
+
+        return tick
+
+    for i, records in enumerate(batches):
+        sim.schedule_at(start_s + i * epoch_gap_s, make_tick(i, records))
+    sim.schedule_at(
+        start_s + len(batches) * epoch_gap_s, lambda: group.close_all()
+    )

@@ -1,0 +1,85 @@
+"""Unit tests for control commands, binning, and configurations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.megaphone.control import (
+    BinnedConfiguration,
+    ControlInst,
+    bin_of,
+    splitmix64,
+    stable_hash,
+)
+
+
+def test_bin_of_requires_power_of_two():
+    with pytest.raises(ValueError):
+        bin_of(1, 3)
+    with pytest.raises(ValueError):
+        bin_of(1, 0)
+
+
+def test_bin_of_single_bin():
+    assert bin_of(12345, 1) == 0
+
+
+@given(st.integers(0, 2**63), st.sampled_from([2, 4, 64, 4096]))
+def test_property_bin_of_in_range(key, bins):
+    assert 0 <= bin_of(key, bins) < bins
+
+
+def test_bin_of_uses_most_significant_bits():
+    # Keys differing only in low hash bits should not systematically share
+    # a bin; the distribution over bins should be roughly uniform.
+    bins = 16
+    counts = [0] * bins
+    for key in range(4096):
+        counts[bin_of(key, bins)] += 1
+    assert min(counts) > 0
+    assert max(counts) < 3 * (4096 // bins)
+
+
+def test_stable_hash_deterministic_across_types():
+    assert stable_hash("word") == stable_hash("word")
+    assert stable_hash(17) == splitmix64(17)
+    assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+    assert stable_hash("a") != stable_hash("b")
+    with pytest.raises(TypeError):
+        stable_hash(3.14)
+
+
+def test_round_robin_configuration():
+    config = BinnedConfiguration.round_robin(8, 3)
+    assert config.assignment == (0, 1, 2, 0, 1, 2, 0, 1)
+    assert config.bins_of(0) == [0, 3, 6]
+    assert config.worker_of(5) == 2
+
+
+def test_contiguous_configuration():
+    config = BinnedConfiguration.contiguous(8, 2)
+    assert config.assignment == (0, 0, 0, 0, 1, 1, 1, 1)
+
+
+def test_moved_bins_and_apply_roundtrip():
+    a = BinnedConfiguration.round_robin(8, 4)
+    b = BinnedConfiguration.contiguous(8, 4)
+    insts = a.moved_bins(b)
+    assert all(isinstance(i, ControlInst) for i in insts)
+    assert a.apply(insts) == b
+    assert b.moved_bins(b) == []
+
+
+def test_moved_bins_size_mismatch():
+    with pytest.raises(ValueError):
+        BinnedConfiguration.round_robin(4, 2).moved_bins(
+            BinnedConfiguration.round_robin(8, 2)
+        )
+
+
+@given(st.integers(1, 6), st.integers(1, 6))
+def test_property_round_robin_is_balanced(log_bins, workers):
+    bins = 2 ** log_bins
+    config = BinnedConfiguration.round_robin(bins, workers)
+    sizes = [len(config.bins_of(w)) for w in range(workers)]
+    assert max(sizes) - min(sizes) <= 1

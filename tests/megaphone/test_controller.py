@@ -1,0 +1,139 @@
+"""Unit tests for the EpochTicker and MigrationController."""
+
+import pytest
+
+from repro.megaphone.control import BinnedConfiguration
+from repro.megaphone.controller import EpochTicker, MigrationController
+from repro.megaphone.migration import make_plan
+from repro.megaphone.operators import build_migrateable
+from tests.helpers import make_dataflow
+
+
+def build_counting(num_workers=2, num_bins=4):
+    df = make_dataflow(num_workers=num_workers, workers_per_process=2)
+    control, control_group = df.new_input("control")
+    data, data_group = df.new_input("data")
+    initial = BinnedConfiguration.round_robin(num_bins, num_workers)
+
+    def applier(app):
+        state = app.state
+        for _tag, (key, val) in app.entries:
+            state[key] = state.get(key, 0) + val
+
+    op = build_migrateable(
+        control, [data], [lambda r: hash(r[0]) & 0xFFFF], applier,
+        num_bins=num_bins, name="ctl", initial=initial,
+    )
+    probe = df.probe(op.output)
+    runtime = df.build()
+    return runtime, control_group, data_group, probe, op, initial
+
+
+def feed_steadily(runtime, data_group, n_epochs, epoch_ms=1):
+    def make(e):
+        def tick():
+            for handle in data_group.handles():
+                handle.send(e, [(f"k{e % 5}", 1)])
+                handle.advance_to(e + 1)
+
+        return tick
+
+    for e in range(n_epochs):
+        runtime.sim.schedule_at(e * epoch_ms / 1000.0, make(e))
+    runtime.sim.schedule_at(n_epochs * epoch_ms / 1000.0, data_group.close_all)
+
+
+def test_ticker_advances_epochs_with_time():
+    runtime, control_group, data_group, probe, op, initial = build_counting()
+    ticker = EpochTicker(runtime, control_group, granularity_ms=5)
+    ticker.start()
+    feed_steadily(runtime, data_group, 20)
+    runtime.run(until=0.032)
+    epochs = {h.epoch for h in control_group.handles()}
+    assert epochs == {35}  # 30ms quantized + one tick ahead
+    ticker.stop()
+    runtime.run_to_quiescence()
+    assert all(h.epoch is None for h in control_group.handles())
+
+
+def test_ticker_dilation_scales_epochs():
+    runtime, control_group, data_group, probe, op, initial = build_counting()
+    ticker = EpochTicker(runtime, control_group, granularity_ms=5, dilation=10)
+    assert ticker.current_epoch() == 0
+    ticker.start()
+    feed_steadily(runtime, data_group, 10)
+    runtime.run(until=0.012)
+    assert ticker.current_epoch() == 100  # 10ms * dilation
+    ticker.stop()
+    runtime.run_to_quiescence()
+
+
+def test_controller_records_step_timings():
+    runtime, control_group, data_group, probe, op, initial = build_counting()
+    ticker = EpochTicker(runtime, control_group, granularity_ms=1)
+    ticker.start()
+    target = BinnedConfiguration(tuple((w + 1) % 2 for w in initial.assignment))
+    plan = make_plan("fluid", initial, target)
+    done_results = []
+    controller = MigrationController(
+        runtime, control_group, ticker, probe, plan,
+        on_done=done_results.append,
+    )
+    controller.start_at(0.005)
+    feed_steadily(runtime, data_group, 50)
+    runtime.run(until=0.08)
+    assert controller.done
+    ticker.stop()
+    runtime.run_to_quiescence()
+    assert done_results and done_results[0] is controller.result
+    result = controller.result
+    assert len(result.steps) == plan.total_moves
+    for step in result.steps:
+        assert step.completed_at is not None
+        assert step.completed_at >= step.issued_at
+    # Steps are strictly sequential under completion pacing.
+    for a, b in zip(result.steps, result.steps[1:]):
+        assert a.completed_at <= b.issued_at
+    assert result.duration == pytest.approx(
+        result.completed_at - result.started_at
+    )
+
+
+def test_timer_paced_controller_overlaps_steps():
+    runtime, control_group, data_group, probe, op, initial = build_counting(
+        num_workers=2, num_bins=8
+    )
+    ticker = EpochTicker(runtime, control_group, granularity_ms=1)
+    ticker.start()
+    target = BinnedConfiguration(tuple((w + 1) % 2 for w in initial.assignment))
+    plan = make_plan("fluid", initial, target)
+    controller = MigrationController(
+        runtime, control_group, ticker, probe, plan, pace_s=0.001
+    )
+    controller.start_at(0.005)
+    feed_steadily(runtime, data_group, 60)
+    runtime.run(until=0.1)
+    assert controller.done
+    ticker.stop()
+    runtime.run_to_quiescence()
+    issued = [s.issued_at for s in controller.result.steps]
+    # Timer pacing: issues spaced by the pace, independent of completion.
+    for a, b in zip(issued, issued[1:]):
+        assert b - a == pytest.approx(0.001, abs=2e-4)
+
+
+def test_empty_plan_completes_immediately():
+    runtime, control_group, data_group, probe, op, initial = build_counting()
+    ticker = EpochTicker(runtime, control_group, granularity_ms=1)
+    ticker.start()
+    plan = make_plan("all-at-once", initial, initial)
+    controller = MigrationController(
+        runtime, control_group, ticker, probe, plan
+    )
+    controller.start_at(0.002)
+    feed_steadily(runtime, data_group, 10)
+    runtime.run(until=0.02)
+    assert controller.done
+    assert controller.result.steps == []
+    ticker.stop()
+    runtime.run_to_quiescence()

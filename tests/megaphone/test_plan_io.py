@@ -1,0 +1,76 @@
+"""Tests for plan/configuration serialization."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.megaphone.control import BinnedConfiguration, ControlInst
+from repro.megaphone.migration import make_plan
+from repro.megaphone.plan_io import (
+    configuration_from_dict,
+    configuration_to_dict,
+    dump_plan,
+    inst_from_dict,
+    inst_to_dict,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    dump_configuration,
+    load_configuration,
+)
+
+
+def test_configuration_roundtrip():
+    config = BinnedConfiguration.round_robin(16, 4)
+    assert configuration_from_dict(configuration_to_dict(config)) == config
+
+
+def test_inst_roundtrip():
+    inst = ControlInst(bin=7, worker=2)
+    assert inst_from_dict(inst_to_dict(inst)) == inst
+
+
+@given(
+    st.integers(1, 4).map(lambda p: 2 ** p),
+    st.integers(1, 5),
+    st.sampled_from(["all-at-once", "fluid", "batched", "optimized"]),
+)
+def test_property_plan_roundtrip(bins, workers, strategy):
+    current = BinnedConfiguration.round_robin(bins * 4, workers)
+    target = BinnedConfiguration(
+        tuple((w + 1) % workers for w in current.assignment)
+    )
+    plan = make_plan(strategy, current, target, batch_size=3)
+    restored = plan_from_dict(plan_to_dict(plan))
+    assert restored.strategy == plan.strategy
+    assert restored.steps == plan.steps
+    # The JSON form is actually JSON-serializable.
+    json.dumps(plan_to_dict(plan))
+
+
+def test_file_roundtrip(tmp_path):
+    current = BinnedConfiguration.round_robin(8, 2)
+    target = BinnedConfiguration.contiguous(8, 2)
+    plan = make_plan("batched", current, target, batch_size=2)
+    path = tmp_path / "plan.json"
+    dump_plan(plan, path)
+    assert load_plan(path).steps == plan.steps
+    cpath = tmp_path / "config.json"
+    dump_configuration(current, cpath)
+    assert load_configuration(cpath) == current
+
+
+def test_rejects_wrong_kind_and_version():
+    config = BinnedConfiguration.round_robin(4, 2)
+    data = configuration_to_dict(config)
+    with pytest.raises(ValueError, match="expected kind"):
+        plan_from_dict(data)
+    data["version"] = 99
+    with pytest.raises(ValueError, match="format version"):
+        configuration_from_dict(data)
+    with pytest.raises(ValueError, match="worker ids"):
+        configuration_from_dict(
+            {"version": 1, "kind": "configuration", "assignment": ["x"]}
+        )

@@ -1,0 +1,93 @@
+"""Tests for the NEXMark event generator."""
+
+from collections import Counter
+
+from repro.nexmark.config import NexmarkConfig
+from repro.nexmark.generator import NexmarkGenerator, make_generator
+from repro.nexmark.model import Auction, Bid, Person, kind_of
+
+
+def gen(worker=0, seed=1, **cfg):
+    g = NexmarkGenerator(NexmarkConfig(**cfg), worker, seed)
+    g.configure_strides(4)
+    return g
+
+
+def test_event_mix_matches_proportions():
+    g = gen()
+    events = g.generate(0, 5000)
+    counts = Counter(kind_of(e) for e in events)
+    assert counts["person"] == 100
+    assert counts["auction"] == 300
+    assert counts["bid"] == 4600
+
+
+def test_determinism():
+    a = gen(seed=7).generate(10, 200)
+    b = gen(seed=7).generate(10, 200)
+    assert a == b
+    c = gen(seed=8).generate(10, 200)
+    assert a != c
+
+
+def test_ids_monotone_and_strided():
+    g0, g1 = gen(worker=0), gen(worker=1)
+    ids0 = [e.id for e in g0.generate(0, 500) if isinstance(e, Person)]
+    ids1 = [e.id for e in g1.generate(0, 500) if isinstance(e, Person)]
+    assert ids0 == sorted(ids0)
+    assert all(i % 4 == 0 for i in ids0)
+    assert all(i % 4 == 1 for i in ids1)
+
+
+def test_bids_target_active_auctions():
+    cfg = NexmarkConfig(active_auctions=50)
+    g = NexmarkGenerator(cfg, 0, 1)
+    g.configure_strides(1)
+    events = g.generate(0, 5000)
+    auctions = [e for e in events if isinstance(e, Auction)]
+    newest = auctions[-1].id
+    bids_after_warmup = [
+        e for e in events[2500:] if isinstance(e, Bid)
+    ]
+    # Bids reference recent auctions: within the active window of the
+    # newest auction at generation end.
+    for bid in bids_after_warmup:
+        assert bid.auction <= newest
+        assert bid.auction >= 0
+
+
+def test_auction_expiry_and_timestamps():
+    g = gen()
+    events = g.generate(250, 100)
+    for event in events:
+        assert event.date_time == 250
+        if isinstance(event, Auction):
+            assert event.expires == 250 + NexmarkConfig().auction_duration_ms
+
+
+def test_hot_auctions_receive_disproportionate_bids():
+    cfg = NexmarkConfig(active_auctions=100, hot_auction_ratio=2, hot_auction_count=5)
+    g = NexmarkGenerator(cfg, 0, 3)
+    g.configure_strides(1)
+    g.generate(0, 2000)  # warm up so the auction set is populated
+    events = g.generate(1, 5000)
+    newest = 0
+    bids, hot = 0, 0
+    for event in events:
+        if isinstance(event, Auction):
+            newest = event.id
+        elif isinstance(event, Bid):
+            bids += 1
+            if newest - event.auction < 5:
+                hot += 1
+    # With ratio 2, roughly half the bids hit the 5 hottest of 100 active.
+    assert hot > bids * 0.3
+
+
+def test_make_generator_is_per_worker():
+    generate = make_generator(NexmarkConfig(), num_workers=2, seed=1)
+    a = generate(0, 0, 100)
+    b = generate(1, 0, 100)
+    person_ids_a = {e.id for e in a if isinstance(e, Person)}
+    person_ids_b = {e.id for e in b if isinstance(e, Person)}
+    assert not person_ids_a & person_ids_b

@@ -1,0 +1,30 @@
+"""Tests for the NEXMark data model."""
+
+import pytest
+
+from repro.nexmark.model import Auction, Bid, Person, kind_of
+
+
+def test_kind_of_dispatch():
+    person = Person(id=1, name="n", email="e", city="c", state="OR", date_time=0)
+    auction = Auction(id=1, item_name="i", initial_bid=1, reserve=2,
+                      date_time=0, expires=10, seller=1, category=3)
+    bid = Bid(auction=1, bidder=2, price=3, date_time=0)
+    assert kind_of(person) == "person"
+    assert kind_of(auction) == "auction"
+    assert kind_of(bid) == "bid"
+    with pytest.raises(TypeError):
+        kind_of("not a record")
+
+
+def test_records_are_immutable():
+    bid = Bid(auction=1, bidder=2, price=3, date_time=0)
+    with pytest.raises(AttributeError):
+        bid.price = 99
+
+
+def test_records_are_hashable_and_comparable():
+    a = Bid(auction=1, bidder=2, price=3, date_time=0)
+    b = Bid(auction=1, bidder=2, price=3, date_time=0)
+    assert a == b
+    assert len({a, b}) == 1

@@ -1,0 +1,72 @@
+"""Tests for the cost and memory models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.cost import CostModel
+from repro.sim.memory import MemoryModel, MemoryTimeline
+
+
+def test_cost_model_defaults_are_positive():
+    cost = CostModel()
+    assert cost.record_cost > 0
+    assert cost.state_bytes(1000) == pytest.approx(1000 * cost.state_bytes_per_key)
+    assert cost.serialize_cost(1e6) > 0
+    assert cost.deserialize_cost(1e6) > 0
+
+
+def test_with_overrides_returns_new_model():
+    cost = CostModel()
+    tweaked = cost.with_overrides(record_cost=1e-3)
+    assert tweaked.record_cost == 1e-3
+    assert cost.record_cost != 1e-3
+    assert tweaked.batch_overhead == cost.batch_overhead
+
+
+def test_route_cost_flat_until_cache_knee():
+    cost = CostModel()
+    assert cost.route_cost_for_bins(16) == cost.route_cost_for_bins(1 << 12)
+    assert cost.route_cost_for_bins(1 << 20) > cost.route_cost_for_bins(1 << 12)
+
+
+def test_route_cost_rejects_nonpositive_bins():
+    with pytest.raises(ValueError):
+        CostModel().route_cost_for_bins(0)
+
+
+@given(st.integers(min_value=1, max_value=2**24))
+def test_route_cost_monotone_in_bins(bins):
+    cost = CostModel()
+    assert cost.route_cost_for_bins(bins) <= cost.route_cost_for_bins(bins * 2)
+
+
+def test_memory_model_accounting():
+    mem = MemoryModel(base_bytes=100.0)
+    assert mem.rss_bytes == 100.0
+    mem.add_state(50.0)
+    mem.add_send_queue(25.0)
+    mem.add_recv_buffer(10.0)
+    assert mem.rss_bytes == pytest.approx(185.0)
+    mem.add_send_queue(-25.0)
+    assert mem.rss_bytes == pytest.approx(160.0)
+    assert mem.peak_bytes == pytest.approx(185.0)
+
+
+def test_memory_timeline_queries():
+    tl = MemoryTimeline(process=0)
+    tl.record(0.0, 10.0)
+    tl.record(1.0, 30.0)
+    tl.record(2.0, 20.0)
+    assert tl.peak() == 30.0
+    assert tl.at(0.5) == 10.0
+    assert tl.at(1.5) == 30.0
+    assert tl.at(-1.0) == 0.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=50))
+def test_memory_peak_never_below_current(deltas):
+    mem = MemoryModel()
+    for d in deltas:
+        mem.add_state(d)
+        assert mem.peak_bytes >= mem.rss_bytes

@@ -1,0 +1,111 @@
+"""Tests for the cluster/network model."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Cluster, Link, NetworkMessage
+
+
+def make_cluster(num_workers=8, workers_per_process=4, **kwargs):
+    sim = Simulator()
+    cluster = Cluster(sim, num_workers, workers_per_process, **kwargs)
+    return sim, cluster
+
+
+def test_process_grouping():
+    _, cluster = make_cluster(num_workers=10, workers_per_process=4)
+    assert len(cluster.processes) == 3
+    assert cluster.processes[0].worker_ids == [0, 1, 2, 3]
+    assert cluster.processes[2].worker_ids == [8, 9]
+    assert cluster.process_of(5).index == 1
+
+
+def test_invalid_sizes_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Cluster(sim, 0)
+    with pytest.raises(ValueError):
+        Cluster(sim, 4, workers_per_process=0)
+
+
+def test_same_worker_delivery_is_immediate():
+    sim, cluster = make_cluster()
+    delivered = []
+    msg = NetworkMessage(src_worker=0, dst_worker=0, size_bytes=100, payload="x")
+    cluster.send(msg, lambda m: delivered.append(sim.now))
+    sim.run()
+    assert delivered == [0.0]
+
+
+def test_intra_process_delivery_uses_fixed_latency():
+    sim, cluster = make_cluster(intra_process_latency_s=1e-3)
+    delivered = []
+    msg = NetworkMessage(src_worker=0, dst_worker=1, size_bytes=1e9, payload="x")
+    cluster.send(msg, lambda m: delivered.append(sim.now))
+    sim.run()
+    # Large payload but same process: no bandwidth term.
+    assert delivered == [pytest.approx(1e-3)]
+
+
+def test_cross_process_delivery_pays_bandwidth_and_latency():
+    sim, cluster = make_cluster(
+        bandwidth_bytes_per_s=1e6, network_latency_s=0.5
+    )
+    delivered = []
+    msg = NetworkMessage(src_worker=0, dst_worker=4, size_bytes=1e6, payload="x")
+    cluster.send(msg, lambda m: delivered.append(sim.now))
+    sim.run()
+    assert delivered == [pytest.approx(1.0 + 0.5)]
+
+
+def test_link_serializes_backlogged_messages():
+    sim, cluster = make_cluster(bandwidth_bytes_per_s=1e6, network_latency_s=0.0)
+    delivered = []
+    for _ in range(3):
+        msg = NetworkMessage(src_worker=0, dst_worker=4, size_bytes=1e6, payload="x")
+        cluster.send(msg, lambda m: delivered.append(sim.now))
+    sim.run()
+    assert delivered == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+
+def test_send_queue_bytes_charged_until_transmitted():
+    sim, cluster = make_cluster(bandwidth_bytes_per_s=1e6, network_latency_s=0.0)
+    proc0 = cluster.processes[0]
+    msg = NetworkMessage(src_worker=0, dst_worker=4, size_bytes=2e6, payload="x")
+    cluster.send(msg, lambda m: None)
+    assert proc0.memory.send_queue_bytes == pytest.approx(2e6)
+    sim.run(until=1.0)
+    assert proc0.memory.send_queue_bytes == pytest.approx(2e6)
+    sim.run()
+    assert proc0.memory.send_queue_bytes == pytest.approx(0.0)
+    assert proc0.memory.peak_bytes >= 2e6
+
+
+def test_distinct_process_pairs_have_independent_links():
+    sim, cluster = make_cluster(
+        num_workers=12, workers_per_process=4,
+        bandwidth_bytes_per_s=1e6, network_latency_s=0.0,
+    )
+    delivered = []
+    cluster.send(
+        NetworkMessage(src_worker=0, dst_worker=4, size_bytes=1e6, payload="a"),
+        lambda m: delivered.append(("a", sim.now)),
+    )
+    cluster.send(
+        NetworkMessage(src_worker=0, dst_worker=8, size_bytes=1e6, payload="b"),
+        lambda m: delivered.append(("b", sim.now)),
+    )
+    sim.run()
+    # Different destination processes: transfers proceed in parallel.
+    assert delivered == [("a", pytest.approx(1.0)), ("b", pytest.approx(1.0))]
+
+
+def test_link_direct_transmit_reports_delivery_time():
+    sim = Simulator()
+    link = Link(sim, bandwidth_bytes_per_s=100.0, latency_s=0.25)
+    msg = NetworkMessage(0, 1, size_bytes=50.0, payload=None)
+    delivery = link.transmit(msg, lambda m: None)
+    assert delivery == pytest.approx(0.5 + 0.25)
+    assert link.queued_bytes == pytest.approx(50.0)
+    sim.run()
+    assert link.queued_bytes == pytest.approx(0.0)

@@ -1,0 +1,57 @@
+"""Property tests for the simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Cluster, NetworkMessage
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=1.0, max_value=1e6), st.integers(0, 3)),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_cross_process_delivery_is_fifo_per_link(messages):
+    """Messages between one process pair arrive in send order."""
+    sim = Simulator()
+    cluster = Cluster(
+        sim, num_workers=4, workers_per_process=2,
+        bandwidth_bytes_per_s=1e6, network_latency_s=0.01,
+    )
+    arrivals = []
+    for i, (size, _) in enumerate(messages):
+        msg = NetworkMessage(src_worker=0, dst_worker=2, size_bytes=size, payload=i)
+        cluster.send(msg, lambda m: arrivals.append(m.payload))
+    sim.run()
+    assert arrivals == list(range(len(messages)))
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_property_simulation_replay_is_identical(delays):
+    def run():
+        sim = Simulator()
+        trace = []
+        for i, d in enumerate(delays):
+            sim.schedule(d, lambda i=i: trace.append((sim.now, i)))
+        sim.run()
+        return trace, sim.events_processed
+
+    assert run() == run()
+
+
+@given(st.integers(1, 32), st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_property_every_worker_belongs_to_exactly_one_process(workers, per):
+    sim = Simulator()
+    cluster = Cluster(sim, num_workers=workers, workers_per_process=per)
+    seen = []
+    for process in cluster.processes:
+        seen.extend(process.worker_ids)
+    assert sorted(seen) == list(range(workers))
+    for w in range(workers):
+        assert w in cluster.process_of(w).worker_ids

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_builds_and_lists():
+    assert main(["list"]) == 0
+
+
+def test_count_command_runs(capsys):
+    code = main([
+        "count", "--domain", "10000", "--rate", "2000", "--duration", "2",
+        "--workers", "4", "--workers-per-process", "2", "--bins", "16",
+        "--migrate-at", "1.0", "--strategy", "fluid",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "migrations" in out
+    assert "steady-state max latency" in out
+
+
+def test_nexmark_command_runs(capsys):
+    code = main([
+        "nexmark", "--query", "2", "--rate", "2000", "--duration", "2",
+        "--workers", "4", "--workers-per-process", "2", "--bins", "16",
+        "--migrate-at", "1.0",
+    ])
+    assert code == 0
+    assert "NEXMark Q2" in capsys.readouterr().out
+
+
+def test_nexmark_rejects_unknown_query():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nexmark", "--query", "9"])
+
+
+def test_compare_command_runs(capsys):
+    code = main([
+        "compare", "--domain", "100000", "--rate", "2000", "--duration", "3",
+        "--workers", "4", "--workers-per-process", "2", "--bins", "16",
+        "--migrate-at", "1.0",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    for strategy in ("all-at-once", "fluid", "batched", "optimized"):
+        assert strategy in out

@@ -1,0 +1,107 @@
+"""Tests for antichains and counted antichains."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timely.antichain import Antichain, MutableAntichain
+from repro.timely.timestamp import less_equal
+
+products = st.tuples(st.integers(0, 6), st.integers(0, 6))
+
+
+def test_insert_keeps_minimal_elements():
+    chain = Antichain()
+    assert chain.insert(5)
+    assert not chain.insert(7)  # dominated by 5
+    assert chain.insert(3)      # dominates 5, replaces it
+    assert chain.elements() == [3]
+
+
+def test_less_equal_and_less_than():
+    chain = Antichain([4])
+    assert chain.less_equal(4)
+    assert chain.less_equal(9)
+    assert not chain.less_equal(3)
+    assert chain.less_than(5)
+    assert not chain.less_than(4)
+
+
+def test_empty_antichain_is_closed():
+    chain = Antichain()
+    assert chain.is_empty()
+    assert not chain.less_equal(0)
+    assert not chain.less_than(10**9)
+
+
+def test_partial_order_antichain_holds_incomparable_elements():
+    chain = Antichain([(1, 3), (2, 2)])
+    assert len(chain) == 2
+    assert chain.less_equal((2, 3))
+    assert not chain.less_equal((0, 0))
+
+
+def test_dominates():
+    assert Antichain([2]).dominates(Antichain([3, 5]))
+    assert not Antichain([4]).dominates(Antichain([3]))
+    assert Antichain([2]).dominates(Antichain())  # vacuous
+
+
+def test_equality_ignores_order():
+    assert Antichain([(1, 3), (2, 2)]) == Antichain([(2, 2), (1, 3)])
+    assert Antichain([1]) != Antichain([2])
+
+
+def test_mutable_antichain_counts():
+    chain = MutableAntichain()
+    chain.update(5, 2)
+    assert chain.count(5) == 2
+    assert chain.frontier().elements() == [5]
+    chain.update(5, -1)
+    assert chain.frontier().elements() == [5]
+    chain.update(5, -1)
+    assert chain.is_empty()
+    assert chain.frontier().is_empty()
+
+
+def test_mutable_antichain_negative_count_raises():
+    chain = MutableAntichain()
+    with pytest.raises(ValueError):
+        chain.update(3, -1)
+
+
+def test_mutable_antichain_frontier_advances_as_counts_drain():
+    chain = MutableAntichain()
+    chain.update(1, 1)
+    chain.update(2, 3)
+    assert chain.frontier().elements() == [1]
+    chain.update(1, -1)
+    assert chain.frontier().elements() == [2]
+    assert chain.total() == 3
+
+
+@given(st.lists(products, max_size=30))
+def test_property_antichain_elements_mutually_incomparable(times):
+    chain = Antichain(times)
+    elements = chain.elements()
+    for i, a in enumerate(elements):
+        for b in elements[i + 1:]:
+            assert not less_equal(a, b)
+            assert not less_equal(b, a)
+
+
+@given(st.lists(products, min_size=1, max_size=30))
+def test_property_every_inserted_time_in_advance_of_frontier(times):
+    chain = Antichain(times)
+    for t in times:
+        assert chain.less_equal(t)
+
+
+@given(st.lists(st.tuples(products, st.integers(1, 3)), max_size=30))
+def test_property_mutable_frontier_covers_all_live_times(entries):
+    chain = MutableAntichain()
+    for time, count in entries:
+        chain.update(time, count)
+    frontier = chain.frontier()
+    for time, _ in entries:
+        assert frontier.less_equal(time)

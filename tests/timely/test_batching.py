@@ -1,0 +1,32 @@
+"""Tests for multi-batch activations (batches_per_activation > 1)."""
+
+from tests.helpers import feed_epochs, make_dataflow
+
+
+def run_wordcountish(batches_per_activation):
+    from tests.helpers import FAST_COST
+
+    # A slow per-record cost backs queues up, so multi-batch activations
+    # actually get to coalesce work.
+    df = make_dataflow(num_workers=2, cost=FAST_COST.with_overrides(record_cost=1e-4))
+    stream, group = df.new_input()
+    seen = []
+    stream.exchange(lambda kv: kv[0]).sink(
+        lambda w, t, recs: seen.extend(recs)
+    )
+    runtime = df.build(batches_per_activation=batches_per_activation)
+    feed_epochs(runtime, group, [[(i % 5, i) for i in range(20)]] * 5)
+    runtime.run_to_quiescence()
+    return sorted(seen), runtime.sim.events_processed, runtime.sim.now
+
+
+def test_batching_preserves_results():
+    single = run_wordcountish(1)
+    batched = run_wordcountish(4)
+    assert single[0] == batched[0]
+
+
+def test_batching_reduces_event_count():
+    single = run_wordcountish(1)
+    batched = run_wordcountish(4)
+    assert batched[1] < single[1]

@@ -1,0 +1,46 @@
+"""Tests for the remaining Stream combinators."""
+
+from tests.helpers import feed_epochs, make_dataflow
+
+
+def test_flat_map_expands_records():
+    df = make_dataflow(num_workers=2)
+    stream, group = df.new_input()
+    seen = []
+    stream.flat_map(lambda x: [x] * x).sink(lambda w, t, recs: seen.extend(recs))
+    runtime = df.build()
+    feed_epochs(runtime, group, [[0, 1, 2, 3]])
+    runtime.run_to_quiescence()
+    assert sorted(seen) == [1, 2, 2, 3, 3, 3]
+
+
+def test_inspect_observes_and_passes_through():
+    df = make_dataflow(num_workers=2)
+    stream, group = df.new_input()
+    observed, delivered = [], []
+    stream.inspect(lambda w, t, recs: observed.extend(recs)).sink(
+        lambda w, t, recs: delivered.extend(recs)
+    )
+    runtime = df.build()
+    feed_epochs(runtime, group, [[10, 20]])
+    runtime.run_to_quiescence()
+    assert sorted(observed) == [10, 20]
+    assert sorted(delivered) == [10, 20]
+
+
+def test_chained_combinators_compose():
+    df = make_dataflow(num_workers=3, workers_per_process=3)
+    stream, group = df.new_input()
+    seen = []
+    (
+        stream
+        .flat_map(lambda x: [(x, i) for i in range(2)])
+        .filter(lambda kv: kv[1] == 0)
+        .exchange(lambda kv: kv[0])
+        .map(lambda kv: kv[0] * 10)
+        .sink(lambda w, t, recs: seen.extend(recs))
+    )
+    runtime = df.build()
+    feed_epochs(runtime, group, [[1, 2, 3]])
+    runtime.run_to_quiescence()
+    assert sorted(seen) == [10, 20, 30]

@@ -1,0 +1,261 @@
+"""End-to-end tests of the simulated timely runtime."""
+
+import pytest
+
+from repro.timely.graph import Exchange
+from repro.timely.operators import FnLogic, concatenate
+from tests.helpers import feed_epochs, make_dataflow
+
+
+def test_map_pipeline_delivers_all_records():
+    df = make_dataflow(num_workers=2)
+    stream, group = df.new_input("numbers")
+    seen = []
+    stream.map(lambda x: x * 2).sink(lambda w, t, recs: seen.extend(recs))
+    runtime = df.build()
+    feed_epochs(runtime, group, [[1, 2], [3], [4, 5]])
+    runtime.run_to_quiescence()
+    assert sorted(seen) == [2, 4, 6, 8, 10]
+    assert runtime.idle()
+
+
+def test_filter_drops_records():
+    df = make_dataflow(num_workers=2)
+    stream, group = df.new_input()
+    seen = []
+    stream.filter(lambda x: x % 2 == 0).sink(lambda w, t, recs: seen.extend(recs))
+    runtime = df.build()
+    feed_epochs(runtime, group, [list(range(10))])
+    runtime.run_to_quiescence()
+    assert sorted(seen) == [0, 2, 4, 6, 8]
+
+
+def test_exchange_routes_by_key():
+    df = make_dataflow(num_workers=4, workers_per_process=2)
+    stream, group = df.new_input()
+    arrivals = []
+    stream.exchange(lambda x: x).sink(lambda w, t, recs: arrivals.extend((w, r) for r in recs))
+    runtime = df.build()
+    feed_epochs(runtime, group, [list(range(16))])
+    runtime.run_to_quiescence()
+    assert len(arrivals) == 16
+    for worker, record in arrivals:
+        assert record % 4 == worker
+
+
+def test_broadcast_reaches_every_worker():
+    df = make_dataflow(num_workers=3, workers_per_process=3)
+    stream, group = df.new_input()
+    arrivals = []
+    stream.broadcast().sink(lambda w, t, recs: arrivals.extend((w, r) for r in recs))
+    runtime = df.build()
+    feed_epochs(runtime, group, [["cmd"]])
+    runtime.run_to_quiescence()
+    assert sorted(arrivals) == [(0, "cmd"), (1, "cmd"), (2, "cmd")]
+
+
+def test_probe_tracks_completion():
+    df = make_dataflow(num_workers=2)
+    stream, group = df.new_input()
+    out = stream.map(lambda x: x)
+    probe = out.probe()
+    runtime = df.build()
+    feed_epochs(runtime, group, [[1], [2], [3]])
+    assert probe.pending(0)
+    runtime.run_to_quiescence()
+    assert probe.done()
+    assert probe.passed(2)
+
+
+def test_probe_on_advance_fires_in_order():
+    df = make_dataflow(num_workers=2)
+    stream, group = df.new_input()
+    probe = stream.map(lambda x: x).probe()
+    runtime = df.build()
+    frontiers = []
+    probe.on_advance(lambda f: frontiers.append(f.elements()))
+    feed_epochs(runtime, group, [[1], [2]])
+    runtime.run_to_quiescence()
+    # Last change closes the stream.
+    assert frontiers[-1] == []
+    # Frontier elements only ever advance.
+    lows = [f[0] for f in frontiers if f]
+    assert lows == sorted(lows)
+
+
+def test_notificator_batches_per_epoch_sums():
+    """A frontier-aware operator accumulates per-time sums and emits each
+    sum exactly when the frontier passes that time."""
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    stream, group = df.new_input()
+
+    def factory(worker_id):
+        sums = {}
+
+        def on_input(ctx, port, time, records):
+            if time not in sums:
+                sums[time] = 0
+                ctx.notify_at(time)
+            for r in records:
+                sums[time] += r
+
+        def on_notify(ctx, time):
+            ctx.send(0, time, [(time, sums.pop(time))])
+
+        return FnLogic(on_input=on_input, on_notify=on_notify)
+
+    out = []
+    stream.unary("epoch_sum", factory).sink(lambda w, t, recs: out.extend(recs))
+    runtime = df.build()
+    feed_epochs(runtime, group, [[1, 2], [5], [7, 3]])
+    runtime.run_to_quiescence()
+    assert out == [(0, 3), (1, 5), (2, 10)]
+
+
+def test_notification_fires_even_without_later_input():
+    """Notifications are driven by frontier movement, not by data arrival."""
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    stream, group = df.new_input()
+    notified = []
+
+    def factory(worker_id):
+        def on_input(ctx, port, time, records):
+            ctx.notify_at(time + 5)
+
+        def on_notify(ctx, time):
+            notified.append(time)
+
+        return FnLogic(on_input=on_input, on_notify=on_notify)
+
+    stream.unary("future", factory)
+    runtime = df.build()
+    runtime.sim.schedule_at(0.0, lambda: group.handle(0).send(0, ["x"]))
+    runtime.sim.schedule_at(0.001, lambda: group.close_all())
+    runtime.run_to_quiescence()
+    assert notified == [5]
+
+
+def test_send_without_capability_is_rejected():
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    stream, group = df.new_input()
+
+    def factory(worker_id):
+        def on_input(ctx, port, time, records):
+            ctx.send(0, time - 1, records)  # time travel: must fail
+
+        return FnLogic(on_input=on_input)
+
+    stream.unary("bad", factory)
+    runtime = df.build()
+
+    def drive():
+        group.handle(0).send(5, ["x"])
+        # Advance the epoch so nothing justifies an emission at time 4.
+        group.advance_all(6)
+
+    runtime.sim.schedule_at(0.0, drive)
+    with pytest.raises(RuntimeError, match="without a justifying capability"):
+        runtime.run_to_quiescence()
+
+
+def test_input_handle_epoch_discipline():
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    _, group = df.new_input()
+    runtime = df.build()
+    handle = group.handle(0)
+
+    def drive():
+        handle.send(3, ["a"])
+        handle.advance_to(4)
+        with pytest.raises(ValueError):
+            handle.send(2, ["late"])
+        with pytest.raises(ValueError):
+            handle.advance_to(1)
+        handle.close()
+        with pytest.raises(RuntimeError):
+            handle.send(9, ["closed"])
+
+    runtime.sim.schedule_at(0.0, drive)
+    runtime.run_to_quiescence()
+
+
+def test_binary_operator_sees_both_inputs():
+    df = make_dataflow(num_workers=2)
+    left, lgroup = df.new_input("left")
+    right, rgroup = df.new_input("right")
+    seen = {"l": [], "r": []}
+
+    def factory(worker_id):
+        def on_input(ctx, port, time, records):
+            seen["l" if port == 0 else "r"].extend(records)
+
+        return FnLogic(on_input=on_input)
+
+    left.binary(right, "pair", factory)
+    runtime = df.build()
+    feed_epochs(runtime, lgroup, [[1, 2]])
+    feed_epochs(runtime, rgroup, [["a"]])
+    runtime.run_to_quiescence()
+    assert sorted(seen["l"]) == [1, 2]
+    assert seen["r"] == ["a"]
+
+
+def test_concatenate_merges_streams():
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    a, ga = df.new_input("a")
+    b, gb = df.new_input("b")
+    seen = []
+    concatenate([a, b]).sink(lambda w, t, recs: seen.extend(recs))
+    runtime = df.build()
+    feed_epochs(runtime, ga, [[1]])
+    feed_epochs(runtime, gb, [[2]])
+    runtime.run_to_quiescence()
+    assert sorted(seen) == [1, 2]
+
+
+def test_deterministic_replay():
+    def run_once():
+        df = make_dataflow(num_workers=4)
+        stream, group = df.new_input()
+        seen = []
+        stream.exchange(lambda x: x * 7).map(lambda x: x + 1).sink(
+            lambda w, t, recs: seen.extend((w, t, r) for r in recs)
+        )
+        runtime = df.build()
+        feed_epochs(runtime, group, [list(range(20)), list(range(20, 40))])
+        runtime.run_to_quiescence()
+        return seen, runtime.sim.events_processed, runtime.sim.now
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+
+
+def test_latency_reflects_processing_cost():
+    """Completion of an epoch (probe passing it) happens after the work,
+    and a slower cost model yields a later completion."""
+
+    def completion_time(record_cost):
+        from tests.helpers import FAST_COST
+
+        df = make_dataflow(
+            num_workers=1,
+            workers_per_process=1,
+            cost=FAST_COST.with_overrides(record_cost=record_cost),
+        )
+        stream, group = df.new_input()
+        probe = stream.map(lambda x: x).probe()
+        runtime = df.build()
+        done_at = {}
+        probe.on_advance(
+            lambda f: done_at.setdefault("t", runtime.sim.now)
+            if probe.passed(0)
+            else None
+        )
+        feed_epochs(runtime, group, [list(range(1000))])
+        runtime.run_to_quiescence()
+        return done_at["t"]
+
+    fast = completion_time(1e-6)
+    slow = completion_time(100e-6)
+    assert slow > fast > 0.0

@@ -1,0 +1,60 @@
+"""Tests for the PendingQueue (Megaphone's extended notificator core)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timely.notificator import PendingQueue
+
+
+def test_pop_ready_respects_order_and_threshold():
+    queue = PendingQueue()
+    queue.push(5, "e")
+    queue.push(1, "a")
+    queue.push(3, "c")
+    ready = queue.pop_ready(lambda t: t <= 3)
+    assert ready == [(1, "a"), (3, "c")]
+    assert len(queue) == 1
+    assert queue.peek_time() == 5
+
+
+def test_fifo_within_equal_times():
+    queue = PendingQueue()
+    queue.push(2, "first")
+    queue.push(2, "second")
+    queue.push(2, "third")
+    assert [item for _, item in queue.drain()] == ["first", "second", "third"]
+
+
+def test_extend_and_times():
+    queue = PendingQueue()
+    queue.extend([(4, "x"), (2, "y"), (4, "z")])
+    assert queue.times() == [2, 4]
+    assert bool(queue)
+    queue.drain()
+    assert not queue
+    assert queue.peek_time() is None
+
+
+def test_product_timestamps_sort_deterministically():
+    queue = PendingQueue()
+    queue.push((1, 2), "a")
+    queue.push((0, 9), "b")
+    drained = queue.drain()
+    assert drained == [((0, 9), "b"), ((1, 2), "a")]
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 1000)), max_size=60))
+def test_property_drain_is_stably_time_sorted(entries):
+    queue = PendingQueue()
+    for time, payload in entries:
+        queue.push(time, payload)
+    drained = queue.drain()
+    times = [t for t, _ in drained]
+    assert times == sorted(times)
+    # Stability: equal times preserve insertion order.
+    by_time = {}
+    for time, payload in entries:
+        by_time.setdefault(time, []).append(payload)
+    for time in by_time:
+        got = [p for t, p in drained if t == time]
+        assert got == by_time[time]

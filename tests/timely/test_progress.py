@@ -1,0 +1,134 @@
+"""Tests for the progress tracker on hand-built graphs."""
+
+import pytest
+
+from repro.timely.graph import GraphBuilder, Pipeline
+from repro.timely.progress import ProgressTracker
+
+
+class _Noop:
+    pass
+
+
+def chain_graph(n_ops=3):
+    """source -> op -> ... -> op, all pipeline channels."""
+    graph = GraphBuilder()
+    graph.add_operator("source", 0, 1, lambda w: _Noop(), is_source=True)
+    for i in range(1, n_ops):
+        graph.add_operator(f"op{i}", 1, 1, lambda w: _Noop())
+        graph.connect(i - 1, 0, i, 0, Pipeline())
+    return graph
+
+
+def test_initial_frontiers_closed_without_capabilities():
+    tracker = ProgressTracker(chain_graph())
+    assert tracker.output_frontier(0).is_empty()
+    assert tracker.input_frontier(2, 0).is_empty()
+
+
+def test_capability_defines_downstream_frontier():
+    tracker = ProgressTracker(chain_graph())
+    tracker.capability_update(0, 5, +1)
+    assert tracker.output_frontier(0).elements() == [5]
+    assert tracker.input_frontier(1, 0).elements() == [5]
+    assert tracker.input_frontier(2, 0).elements() == [5]
+
+
+def test_capability_downgrade_advances_frontier():
+    tracker = ProgressTracker(chain_graph())
+    tracker.capability_update(0, 0, +1)
+    tracker.capability_update(0, 10, +1)
+    tracker.capability_update(0, 0, -1)
+    assert tracker.input_frontier(2, 0).elements() == [10]
+
+
+def test_in_flight_message_holds_frontier():
+    tracker = ProgressTracker(chain_graph())
+    tracker.capability_update(0, 10, +1)
+    tracker.message_sent(0, 3)  # channel source->op1 at time 3
+    assert tracker.input_frontier(1, 0).elements() == [3]
+    # Downstream of op1 also sees 3 through the identity summary.
+    assert tracker.input_frontier(2, 0).elements() == [3]
+    tracker.message_consumed(0, 3)
+    assert tracker.input_frontier(1, 0).elements() == [10]
+
+
+def test_midstream_capability_holds_downstream_only():
+    tracker = ProgressTracker(chain_graph())
+    tracker.capability_update(0, 10, +1)
+    tracker.capability_update(1, 4, +1)  # op1 notificator holds time 4
+    assert tracker.input_frontier(1, 0).elements() == [10]
+    assert tracker.input_frontier(2, 0).elements() == [4]
+    tracker.capability_update(1, 4, -1)
+    assert tracker.input_frontier(2, 0).elements() == [10]
+
+
+def test_drain_changes_reports_each_change_once():
+    tracker = ProgressTracker(chain_graph())
+    tracker.capability_update(0, 0, +1)
+    changes = tracker.drain_changes()
+    changed_ports = {(c.op, c.port) for c in changes.inputs}
+    assert (1, 0) in changed_ports and (2, 0) in changed_ports
+    assert 0 in changes.outputs
+    # No new updates: nothing further to drain.
+    assert not tracker.drain_changes()
+
+
+def test_queries_do_not_swallow_changes():
+    tracker = ProgressTracker(chain_graph())
+    tracker.capability_update(0, 0, +1)
+    # A query triggers propagation...
+    assert tracker.input_frontier(1, 0).elements() == [0]
+    # ...but the changes are still available to the runtime.
+    assert tracker.drain_changes()
+
+
+def test_idle_reflects_outstanding_work():
+    tracker = ProgressTracker(chain_graph())
+    assert tracker.idle()
+    tracker.capability_update(0, 0, +1)
+    assert not tracker.idle()
+    tracker.message_sent(0, 0)
+    tracker.capability_update(0, 0, -1)
+    assert not tracker.idle()
+    tracker.message_consumed(0, 0)
+    assert tracker.idle()
+
+
+def test_two_input_operator_merges_frontiers():
+    graph = GraphBuilder()
+    graph.add_operator("a", 0, 1, lambda w: _Noop(), is_source=True)
+    graph.add_operator("b", 0, 1, lambda w: _Noop(), is_source=True)
+    graph.add_operator("join", 2, 1, lambda w: _Noop())
+    graph.connect(0, 0, 2, 0, Pipeline())
+    graph.connect(1, 0, 2, 1, Pipeline())
+    tracker = ProgressTracker(graph)
+    tracker.capability_update(0, 3, +1)
+    tracker.capability_update(1, 8, +1)
+    assert tracker.input_frontier(2, 0).elements() == [3]
+    assert tracker.input_frontier(2, 1).elements() == [8]
+    # Output frontier is the merge (min) of both inputs.
+    assert tracker.output_frontier(2).elements() == [3]
+
+
+def test_partial_order_frontier_is_set_valued():
+    graph = GraphBuilder()
+    graph.add_operator("a", 0, 1, lambda w: _Noop(), is_source=True)
+    graph.add_operator("sink", 1, 1, lambda w: _Noop())
+    graph.connect(0, 0, 1, 0, Pipeline())
+    tracker = ProgressTracker(graph)
+    tracker.capability_update(0, (1, 3), +1)
+    tracker.capability_update(0, (2, 2), +1)
+    frontier = tracker.input_frontier(1, 0)
+    assert len(frontier) == 2
+    assert frontier.less_equal((2, 3))
+
+
+def test_cycle_detection():
+    graph = GraphBuilder()
+    graph.add_operator("a", 1, 1, lambda w: _Noop())
+    graph.add_operator("b", 1, 1, lambda w: _Noop())
+    graph.connect(0, 0, 1, 0, Pipeline())
+    graph.connect(1, 0, 0, 0, Pipeline())
+    with pytest.raises(ValueError):
+        ProgressTracker(graph)

@@ -1,0 +1,124 @@
+"""Property-based tests of progress-tracking invariants.
+
+The safety property behind everything: a frontier never advances past a
+timestamp that may still appear.  We drive the tracker with random but
+*legal* update sequences (capabilities registered before use, messages
+consumed only after being sent) and check conservativeness throughout.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timely.graph import GraphBuilder, Pipeline
+from repro.timely.progress import ProgressTracker
+
+
+def chain(n_ops=3):
+    graph = GraphBuilder()
+    graph.add_operator("source", 0, 1, lambda w: object(), is_source=True)
+    for i in range(1, n_ops):
+        graph.add_operator(f"op{i}", 1, 1, lambda w: object())
+        graph.connect(i - 1, 0, i, 0, Pipeline())
+    return graph
+
+
+@st.composite
+def update_scripts(draw):
+    """A legal sequence of progress updates on a 3-op chain."""
+    script = []
+    outstanding_caps = {}
+    outstanding_msgs = {}
+    n = draw(st.integers(5, 40))
+    for _ in range(n):
+        kind = draw(st.sampled_from(["cap+", "cap-", "send", "consume"]))
+        if kind == "cap+":
+            op = draw(st.integers(0, 2))
+            t = draw(st.integers(0, 20))
+            outstanding_caps[(op, t)] = outstanding_caps.get((op, t), 0) + 1
+            script.append(("cap", op, t, +1))
+        elif kind == "cap-":
+            live = [k for k, v in outstanding_caps.items() if v > 0]
+            if not live:
+                continue
+            op, t = draw(st.sampled_from(live))
+            outstanding_caps[(op, t)] -= 1
+            script.append(("cap", op, t, -1))
+        elif kind == "send":
+            ch = draw(st.integers(0, 1))
+            t = draw(st.integers(0, 20))
+            outstanding_msgs[(ch, t)] = outstanding_msgs.get((ch, t), 0) + 1
+            script.append(("send", ch, t))
+        else:
+            live = [k for k, v in outstanding_msgs.items() if v > 0]
+            if not live:
+                continue
+            ch, t = draw(st.sampled_from(live))
+            outstanding_msgs[(ch, t)] -= 1
+            script.append(("consume", ch, t))
+    return script
+
+
+@given(update_scripts())
+@settings(max_examples=60, deadline=None)
+def test_frontiers_are_always_conservative(script):
+    tracker = ProgressTracker(chain())
+    live_caps = {}
+    live_msgs = {}
+    for action in script:
+        if action[0] == "cap":
+            _, op, t, delta = action
+            tracker.capability_update(op, t, delta)
+            live_caps[(op, t)] = live_caps.get((op, t), 0) + delta
+        elif action[0] == "send":
+            _, ch, t = action
+            tracker.message_sent(ch, t)
+            live_msgs[(ch, t)] = live_msgs.get((ch, t), 0) + 1
+        else:
+            _, ch, t = action
+            tracker.message_consumed(ch, t)
+            live_msgs[(ch, t)] -= 1
+
+        # Conservativeness: the chain-final *output* frontier covers every
+        # live capability and in-flight message anywhere upstream (identity
+        # path summaries propagate them all the way down).
+        final_frontier = tracker.output_frontier(2)
+        for (op, t), count in live_caps.items():
+            if count > 0:
+                assert final_frontier.less_equal(t), (
+                    f"frontier {final_frontier!r} passed live capability "
+                    f"({op}, {t})"
+                )
+        for (ch, t), count in live_msgs.items():
+            if count > 0:
+                assert final_frontier.less_equal(t)
+
+
+@given(update_scripts())
+@settings(max_examples=30, deadline=None)
+def test_draining_everything_closes_frontiers(script):
+    tracker = ProgressTracker(chain())
+    live_caps = {}
+    live_msgs = {}
+    for action in script:
+        if action[0] == "cap":
+            _, op, t, delta = action
+            tracker.capability_update(op, t, delta)
+            live_caps[(op, t)] = live_caps.get((op, t), 0) + delta
+        elif action[0] == "send":
+            _, ch, t = action
+            tracker.message_sent(ch, t)
+            live_msgs[(ch, t)] = live_msgs.get((ch, t), 0) + 1
+        else:
+            _, ch, t = action
+            tracker.message_consumed(ch, t)
+            live_msgs[(ch, t)] -= 1
+    # Drain everything that is still live.
+    for (op, t), count in live_caps.items():
+        if count > 0:
+            tracker.capability_update(op, t, -count)
+    for (ch, t), count in live_msgs.items():
+        if count > 0:
+            tracker.message_consumed(ch, t, count)
+    assert tracker.idle()
+    assert tracker.input_frontier(2, 0).is_empty()
+    assert tracker.output_frontier(2).is_empty()

@@ -1,0 +1,85 @@
+"""Tests for timestamp partial orders."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timely.timestamp import (
+    in_advance_of,
+    join,
+    less_equal,
+    less_than,
+    meet,
+    minimum_like,
+    totally_ordered,
+)
+
+
+def test_integer_order():
+    assert less_equal(1, 2)
+    assert less_equal(2, 2)
+    assert not less_equal(3, 2)
+    assert less_than(1, 2)
+    assert not less_than(2, 2)
+
+
+def test_product_order_is_partial():
+    assert less_equal((1, 2), (2, 3))
+    assert less_equal((1, 2), (1, 2))
+    assert not less_equal((1, 3), (2, 2))
+    assert not less_equal((2, 2), (1, 3))
+    assert not totally_ordered([(1, 3), (2, 2)])
+    assert totally_ordered([(1, 1), (2, 2), (3, 3)])
+
+
+def test_in_advance_of_matches_paper_example():
+    # "a time 6 is in advance of 5" (paper, Definition 2).
+    assert in_advance_of(6, 5)
+    assert in_advance_of(5, 5)
+    assert not in_advance_of(4, 5)
+
+
+def test_join_meet_integers():
+    assert join(3, 5) == 5
+    assert meet(3, 5) == 3
+
+
+def test_join_meet_products():
+    assert join((1, 4), (3, 2)) == (3, 4)
+    assert meet((1, 4), (3, 2)) == (1, 2)
+
+
+def test_minimum_like():
+    assert minimum_like(17) == 0
+    assert minimum_like((5, (7, 9))) == (0, (0, 0))
+
+
+def test_mixed_comparison_raises():
+    with pytest.raises(TypeError):
+        less_equal(1, (1, 2))
+    with pytest.raises(TypeError):
+        join((1,), (1, 2))
+    with pytest.raises(TypeError):
+        meet(3, (1, 2))
+
+
+@given(st.tuples(st.integers(0, 100), st.integers(0, 100)),
+       st.tuples(st.integers(0, 100), st.integers(0, 100)))
+def test_property_join_is_upper_bound(a, b):
+    j = join(a, b)
+    assert less_equal(a, j)
+    assert less_equal(b, j)
+
+
+@given(st.tuples(st.integers(0, 100), st.integers(0, 100)),
+       st.tuples(st.integers(0, 100), st.integers(0, 100)))
+def test_property_meet_is_lower_bound(a, b):
+    m = meet(a, b)
+    assert less_equal(m, a)
+    assert less_equal(m, b)
+
+
+@given(st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50))
+def test_property_transitivity(a, b, c):
+    if less_equal(a, b) and less_equal(b, c):
+        assert less_equal(a, c)

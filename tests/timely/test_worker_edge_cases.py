@@ -1,0 +1,178 @@
+"""Edge-case tests for the worker runtime and operator contexts."""
+
+import pytest
+
+from repro.timely.operators import FnLogic
+from tests.helpers import feed_epochs, make_dataflow
+
+
+def test_notification_registered_during_notification_fires_in_order():
+    """A callback that registers an earlier-but-due notification must see
+    it delivered before any later pending one (regression test for the
+    precomputed-due-list bug found via NEXMark Q5)."""
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    stream, group = df.new_input()
+    fired = []
+
+    def factory(worker_id):
+        def on_input(ctx, port, time, records):
+            for r in records:
+                ctx.notify_at(r)
+
+        def on_notify(ctx, time):
+            fired.append(time)
+            if time == 10:
+                # 15 is already past the (closed) frontier, and 20 was
+                # registered before us: 15 must still fire before 20.
+                ctx.notify_at(15)
+
+        return FnLogic(on_input=on_input, on_notify=on_notify)
+
+    stream.unary("reg", factory)
+    runtime = df.build()
+    runtime.sim.schedule_at(0.0, lambda: group.handle(0).send(5, [10, 20]))
+    runtime.sim.schedule_at(0.001, group.close_all)
+    runtime.run_to_quiescence()
+    assert fired == [10, 15, 20]
+
+
+def test_capability_hold_release_discipline():
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    stream, group = df.new_input()
+    state = {}
+
+    def factory(worker_id):
+        def on_input(ctx, port, time, records):
+            ctx.hold_capability(time + 100)
+            state["ctx"] = ctx
+
+        return FnLogic(on_input=on_input)
+
+    stream.unary("cap", factory)
+    runtime = df.build()
+    runtime.sim.schedule_at(0.0, lambda: group.handle(0).send(0, ["x"]))
+    runtime.sim.schedule_at(0.001, group.close_all)
+    runtime.run(until=0.01)
+    ctx = state["ctx"]
+    assert ctx.held_capabilities() == [100]
+    # Double release is an error.
+    ctx.release_capability(100)
+    with pytest.raises(RuntimeError, match="does not hold"):
+        ctx.release_capability(100)
+    runtime.run_to_quiescence()
+    assert runtime.idle()
+
+
+def test_charge_rejects_negative_cost():
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    stream, group = df.new_input()
+
+    def factory(worker_id):
+        def on_input(ctx, port, time, records):
+            with pytest.raises(ValueError):
+                ctx.charge(-1.0)
+
+        return FnLogic(on_input=on_input)
+
+    stream.unary("neg", factory)
+    runtime = df.build()
+    runtime.sim.schedule_at(0.0, lambda: group.handle(0).send(0, ["x"]))
+    runtime.sim.schedule_at(0.001, group.close_all)
+    runtime.run_to_quiescence()
+
+
+def test_charge_extends_busy_time():
+    def run(extra):
+        df = make_dataflow(num_workers=1, workers_per_process=1)
+        stream, group = df.new_input()
+
+        def factory(worker_id):
+            def on_input(ctx, port, time, records):
+                ctx.charge(extra)
+
+            return FnLogic(on_input=on_input)
+
+        probe = stream.unary("busy", factory).probe()
+        runtime = df.build()
+        done = {}
+        probe.on_advance(
+            lambda f: done.setdefault("t", runtime.sim.now) if f.is_empty() else None
+        )
+        runtime.sim.schedule_at(0.0, lambda: group.handle(0).send(0, ["x"]))
+        runtime.sim.schedule_at(0.0001, group.close_all)
+        runtime.run_to_quiescence()
+        return done["t"]
+
+    assert run(0.5) >= run(0.0) + 0.49
+
+
+def test_notify_at_coalesces_duplicates():
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    stream, group = df.new_input()
+    fired = []
+
+    def factory(worker_id):
+        def on_input(ctx, port, time, records):
+            ctx.notify_at(time)
+            ctx.notify_at(time)
+            ctx.notify_at(time)
+
+        def on_notify(ctx, time):
+            fired.append(time)
+
+        return FnLogic(on_input=on_input, on_notify=on_notify)
+
+    stream.unary("dup", factory)
+    runtime = df.build()
+    runtime.sim.schedule_at(0.0, lambda: group.handle(0).send(3, ["x"]))
+    runtime.sim.schedule_at(0.001, group.close_all)
+    runtime.run_to_quiescence()
+    assert fired == [3]
+    assert runtime.idle()
+
+
+def test_sends_to_unconnected_output_are_dropped_cleanly():
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    stream, group = df.new_input()
+
+    def factory(worker_id):
+        def on_input(ctx, port, time, records):
+            ctx.send(0, time, records)  # nothing listens downstream
+
+        return FnLogic(on_input=on_input)
+
+    stream.unary("dangling", factory)
+    runtime = df.build()
+    runtime.sim.schedule_at(0.0, lambda: group.handle(0).send(0, ["x"]))
+    runtime.sim.schedule_at(0.001, group.close_all)
+    runtime.run_to_quiescence()
+    assert runtime.idle()
+
+
+def test_multiple_outputs_route_independently():
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    stream, group = df.new_input()
+
+    def factory(worker_id):
+        def on_input(ctx, port, time, records):
+            evens = [r for r in records if r % 2 == 0]
+            odds = [r for r in records if r % 2 == 1]
+            ctx.send(0, time, evens)
+            ctx.send(1, time, odds)
+
+        return FnLogic(on_input=on_input)
+
+    outputs = df.add_operator(
+        "split",
+        inputs=[(stream, __import__("repro.timely.graph", fromlist=["Pipeline"]).Pipeline())],
+        n_outputs=2,
+        logic_factory=factory,
+    )
+    seen = {"even": [], "odd": []}
+    outputs[0].sink(lambda w, t, recs: seen["even"].extend(recs))
+    outputs[1].sink(lambda w, t, recs: seen["odd"].extend(recs))
+    runtime = df.build()
+    feed_epochs(runtime, group, [[1, 2, 3, 4, 5]])
+    runtime.run_to_quiescence()
+    assert sorted(seen["even"]) == [2, 4]
+    assert sorted(seen["odd"]) == [1, 3, 5]
