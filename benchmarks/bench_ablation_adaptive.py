@@ -7,10 +7,9 @@ max latency while finishing far sooner than fluid, without hand-picking a
 batch size.
 """
 
-import sys
 
 from _common import count_config, run_once
-from repro.harness.experiment import ExperimentConfig, MigrationExperiment, run_count_experiment
+from repro.harness.experiment import run_count_experiment
 from repro.harness.report import format_duration, format_latency, print_table
 from repro.harness.workloads import CountWorkload
 from repro.megaphone.adaptive import AdaptiveConfig, AdaptiveMigrationController

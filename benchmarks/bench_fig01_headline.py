@@ -14,7 +14,13 @@ reproduction target, not absolute seconds.
 
 from _common import count_config, run_once
 from repro.harness.experiment import run_count_experiment
-from repro.harness.report import format_duration, format_latency, print_table, print_timeline
+from repro.harness.report import (
+    format_duration,
+    format_latency,
+    print_phase_breakdown,
+    print_table,
+    print_timeline,
+)
 
 DOMAIN = 10**9  # one billion keys, 8 GB at 8 B/key
 MIGRATE_AT = 3.0
@@ -27,6 +33,7 @@ def _run(strategy):
         migrate_at_s=(MIGRATE_AT,),
         strategy=strategy,
         batch_size=64,
+        collect_trace=True,
     )
     return run_count_experiment(cfg)
 
@@ -61,6 +68,13 @@ def bench_fig01_headline(benchmark, sink):
             f"Figure 1 timeline: {strategy}",
             [s for s in res.timeline.series() if MIGRATE_AT - 1 <= s.start_s],
             out=sink,
+        )
+    for strategy, res in results.items():
+        print_phase_breakdown(
+            f"Figure 1 migration phases: {strategy}",
+            res.migration_trace.phase_breakdown(),
+            out=sink,
+            max_rows=8,
         )
 
     spike = results["all-at-once"].migration_max_latency(0)

@@ -5,6 +5,7 @@ Usage (module form)::
     python -m repro.cli count --strategy fluid --bins 4096 --domain 1e9
     python -m repro.cli nexmark --query 5 --strategy batched --dilation 60
     python -m repro.cli compare --domain 1e9           # Figure 1 in one line
+    python -m repro.cli trace --domain 1e7             # per-bin phase breakdown
     python -m repro.cli list
 
 Each command builds the simulated cluster, runs the workload with the
@@ -21,6 +22,7 @@ from repro.harness.experiment import ExperimentConfig, run_count_experiment
 from repro.harness.report import (
     format_duration,
     format_latency,
+    print_phase_breakdown,
     print_table,
     print_timeline,
 )
@@ -132,6 +134,33 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run one migration with trace collection and print its timeline.
+
+    Defaults to the fluid strategy, whose completion-paced single-bin steps
+    make the per-bin totals sum exactly to the measured migration duration.
+    """
+    cfg = _config_from(
+        args,
+        domain=int(args.domain),
+        bytes_per_key=args.bytes_per_key,
+        collect_trace=True,
+    )
+    result = run_count_experiment(cfg)
+    trace = result.migration_trace
+    breakdown = trace.phase_breakdown()
+    print_phase_breakdown(
+        f"migration phases, {cfg.strategy}, domain {int(args.domain):,}",
+        breakdown,
+        max_rows=args.max_rows,
+    )
+    measured = sum(
+        result.migration_duration(i) for i in range(len(result.migrations))
+    )
+    print(f"measured migration duration: {format_duration(measured)}")
+    return 0
+
+
 def cmd_list(args) -> int:
     """List available workloads and strategies."""
     print("workloads: count (microbenchmark), nexmark (queries 1-8)")
@@ -164,6 +193,15 @@ def build_parser() -> argparse.ArgumentParser:
     _common_args(compare)
     compare.add_argument("--domain", type=float, default=1e8)
     compare.set_defaults(fn=cmd_compare)
+
+    trace = sub.add_parser(
+        "trace", help="run one migration and print its per-bin phase breakdown"
+    )
+    _common_args(trace)
+    trace.add_argument("--domain", type=float, default=1e6)
+    trace.add_argument("--bytes-per-key", type=float, default=8.0)
+    trace.add_argument("--max-rows", type=int, default=16)
+    trace.set_defaults(fn=cmd_trace, strategy="fluid")
 
     lst = sub.add_parser("list", help="list workloads and strategies")
     lst.set_defaults(fn=cmd_list)

@@ -21,9 +21,11 @@ from repro.megaphone.api import state_machine
 from repro.megaphone.control import BinnedConfiguration
 from repro.megaphone.controller import EpochTicker, MigrationController, MigrationResult
 from repro.megaphone.migration import imbalanced_target, make_plan
+from repro.runtime_events.analyze import MigrationTrace
+from repro.runtime_events.events import MemorySampled
 from repro.sim.cost import CostModel
 from repro.sim.engine import Simulator
-from repro.sim.memory import MemoryTimeline
+from repro.sim.memory import MemoryTimeline, MemoryTimelineRecorder
 from repro.sim.network import Cluster
 from repro.timely.dataflow import Dataflow
 
@@ -54,6 +56,10 @@ class ExperimentConfig:
     network_latency_s: float = 40e-6
     sample_memory: bool = False
     memory_sample_s: float = 0.25
+    # Attach a MigrationTrace to the run's bus and expose it on the result
+    # (per-bin phase breakdowns).  Observability only: a run is bit-identical
+    # with or without it.
+    collect_trace: bool = False
     native: bool = False  # run the non-migrateable baseline instead
     seed: int = 1
 
@@ -78,6 +84,8 @@ class ExperimentResult:
     records_injected: float = 0.0
     sim_events: int = 0
     wall_seconds: float = 0.0
+    # Present when the config asked for trace collection.
+    migration_trace: Optional[MigrationTrace] = None
 
     def migration_window(self, index: int) -> tuple[float, float]:
         """(start, end) of migration ``index``, padded by one window."""
@@ -156,6 +164,7 @@ class MigrationExperiment:
         probe = df.probe(probe_stream)
         runtime = df.build()
 
+        migration_trace = MigrationTrace(sim.trace) if cfg.collect_trace else None
         timeline = LatencyTimeline()
         recorder = EpochLatencyRecorder(
             runtime, probe, cfg.granularity_ms, timeline, dilation=cfg.dilation
@@ -192,13 +201,16 @@ class MigrationExperiment:
                 controllers.append(controller)
                 current = target
 
-        memory_timelines = [
-            MemoryTimeline(process=p.index) for p in cluster.processes
-        ]
         if cfg.sample_memory:
-            self._schedule_memory_sampler(
-                runtime, cluster, memory_timelines, state_bytes_fn
+            memory_recorder = MemoryTimelineRecorder(
+                sim.trace, len(cluster.processes)
             )
+            memory_timelines = memory_recorder.timelines
+            self._schedule_memory_sampler(runtime, cluster, state_bytes_fn)
+        else:
+            memory_timelines = [
+                MemoryTimeline(process=p.index) for p in cluster.processes
+            ]
 
         ticker.start()
         source.start()
@@ -221,21 +233,33 @@ class MigrationExperiment:
             records_injected=source.records_injected,
             sim_events=sim.events_processed,
             wall_seconds=wallclock.perf_counter() - started,
+            migration_trace=migration_trace,
         )
         return result
 
-    def _schedule_memory_sampler(
-        self, runtime, cluster, timelines, state_bytes_fn
-    ) -> None:
+    def _schedule_memory_sampler(self, runtime, cluster, state_bytes_fn) -> None:
+        """Publish a ``MemorySampled`` event per process every sampling tick.
+
+        The sampler is part of the simulation (it refreshes modeled state
+        bytes and runs whether or not anyone subscribed), so attaching or
+        detaching memory consumers cannot perturb determinism.
+        """
         cfg = self.config
         sim = runtime.sim
+        trace = sim.trace
 
         def sample() -> None:
-            for process, timeline in zip(cluster.processes, timelines):
+            for process in cluster.processes:
                 if state_bytes_fn is not None:
                     state = sum(state_bytes_fn(w) for w in process.worker_ids)
                     process.memory.state_bytes = state
-                timeline.record(sim.now, process.memory.rss_bytes)
+                trace.publish(
+                    MemorySampled(
+                        process=process.index,
+                        rss_bytes=process.memory.rss_bytes,
+                        at=sim.now,
+                    )
+                )
             if sim.now < cfg.duration_s + 1.0:
                 sim.schedule(cfg.memory_sample_s, sample)
 

@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.runtime_events.events import TOPIC_FRONTIER
+
 # Four sub-steps per power of two gives ~19 % bucket resolution.
 _BUCKETS_PER_DOUBLING = 4
 _MIN_LATENCY_S = 1e-6
@@ -164,14 +166,18 @@ class LatencyTimeline:
 
 
 class EpochLatencyRecorder:
-    """Turns probe frontier movement into latency observations.
+    """Turns output-frontier movement into latency observations.
 
     Epochs are integer millisecond timestamps spaced ``granularity_ms``
-    apart.  When the probed frontier passes an epoch ``t``, the epoch's
-    latency is ``now - t/1000``: the input for ``t`` was injected at
-    simulated time ``t/1000`` by the open-loop source, so this is exactly
-    the paper's service latency.  Observations are weighted by the number of
-    records the source injected for that epoch.
+    apart.  When the probed operator's output frontier passes an epoch
+    ``t``, the epoch's latency is ``now - t/1000``: the input for ``t`` was
+    injected at simulated time ``t/1000`` by the open-loop source, so this
+    is exactly the paper's service latency.  Observations are weighted by
+    the number of records the source injected for that epoch.
+
+    The recorder is a trace-bus subscriber on the ``frontier`` topic — it
+    observes the same :class:`~repro.runtime_events.events.FrontierAdvanced`
+    stream any other consumer would, filtered to the probed operator.
     """
 
     def __init__(
@@ -185,13 +191,24 @@ class EpochLatencyRecorder:
         self.runtime = runtime
         self.granularity_ms = granularity_ms
         self.dilation = dilation
+        self._op_index = probe.op_index
         # Epoch step in the (possibly dilated) event-time domain.
         self._step = granularity_ms * dilation
         self.timeline = timeline if timeline is not None else LatencyTimeline()
         self._weights: dict[int, float] = {}
         self._completed_through = -self._step
         self._max_epoch = -self._step
-        probe.on_advance(self._on_advance)
+        self._unsubscribe = runtime.sim.trace.subscribe(
+            self._on_event, topics=(TOPIC_FRONTIER,)
+        )
+
+    def close(self) -> None:
+        """Detach from the trace bus."""
+        self._unsubscribe()
+
+    def _on_event(self, event) -> None:
+        if event.op == self._op_index:
+            self._on_advance(event.frontier)
 
     def note_injected(self, epoch_ms: int, records: float) -> None:
         """The source injected ``records`` records for ``epoch_ms``."""

@@ -98,6 +98,63 @@ def print_ccdf(title: str, points, out=print, max_points: int = 40) -> None:
     print_table(title, ["latency", "CCDF"], rows, out=out)
 
 
+def print_phase_breakdown(
+    title: str,
+    breakdown,
+    out=print,
+    max_rows: int = 16,
+) -> None:
+    """Print a per-bin migration phase breakdown (``runtime_events.analyze``).
+
+    One row per migrated bin: drain wait → extract → ship → install →
+    catch-up, which partition the bin's step duration exactly.  Large
+    migrations are truncated to ``max_rows`` bins; the step totals and the
+    per-phase sums below always cover every bin.
+    """
+    rows = []
+    for phases in breakdown.rows[:max_rows]:
+        rows.append(
+            (
+                phases.bin,
+                f"{phases.src}->{phases.dst}",
+                format_bytes(phases.size_bytes),
+                format_duration(phases.drain_s),
+                format_duration(phases.extract_s),
+                format_duration(phases.ship_s),
+                format_duration(phases.install_s),
+                format_duration(phases.catchup_s),
+                format_duration(phases.total_s),
+            )
+        )
+    print_table(
+        title,
+        ["bin", "move", "size", "drain", "extract", "ship", "install",
+         "catch-up", "total"],
+        rows,
+        out=out,
+    )
+    hidden = len(breakdown.rows) - max_rows
+    if hidden > 0:
+        out(f"... ({hidden} more bins)")
+    if breakdown.incomplete:
+        out(f"({breakdown.incomplete} bins with incomplete lifecycles omitted)")
+    step_totals = breakdown.step_totals()
+    if step_totals:
+        out(
+            f"steps: {len(step_totals)}; bins: {len(breakdown.rows)}; "
+            f"summed step durations: "
+            f"{format_duration(breakdown.total_duration())}"
+        )
+    sums = breakdown.phase_sums()
+    grand = sum(sums.values())
+    if grand > 0:
+        parts = ", ".join(
+            f"{phase} {format_duration(value)} ({value / grand:.0%})"
+            for phase, value in sums.items()
+        )
+        out(f"phase totals across bins: {parts}")
+
+
 def log_range(start: float, stop: float, factor: float) -> list[float]:
     """Geometric sweep values, inclusive of both endpoints (approximately)."""
     out = []

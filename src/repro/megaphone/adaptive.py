@@ -19,6 +19,8 @@ from typing import Optional
 
 from repro.megaphone.control import BinnedConfiguration
 from repro.megaphone.controller import EpochTicker, MigrationResult, StepResult
+from repro.runtime_events.analyze import MigrationTrace
+from repro.runtime_events.events import MigrationStepCompleted, MigrationStepIssued
 from repro.timely.dataflow import InputGroup, Runtime
 
 
@@ -66,6 +68,10 @@ class AdaptiveMigrationController:
         self._awaiting: Optional[StepResult] = None
         self.result = MigrationResult(strategy="adaptive")
         self.batch_history: list[int] = []
+        # Step durations are measured off the trace bus: the controller
+        # publishes issue/completion events and reads its own feedback back
+        # from the shared migration timeline, like any other consumer.
+        self._trace = MigrationTrace(runtime.sim.trace)
         probe.on_advance(self._check_progress)
 
     @property
@@ -91,9 +97,11 @@ class AdaptiveMigrationController:
             raise RuntimeError("control input closed during adaptive migration")
         time = handle.epoch
         handle.send(time, list(insts))
-        self._awaiting = StepResult(
-            time=time, moves=len(insts), issued_at=self._runtime.sim.now
+        now = self._runtime.sim.now
+        self._runtime.sim.trace.publish(
+            MigrationStepIssued(time=time, moves=len(insts), at=now)
         )
+        self._awaiting = StepResult(time=time, moves=len(insts), issued_at=now)
         self.result.steps.append(self._awaiting)
         self._check_progress(None)
 
@@ -103,13 +111,16 @@ class AdaptiveMigrationController:
             return
         awaiting.completed_at = self._runtime.sim.now
         self._awaiting = None
+        self._runtime.sim.trace.publish(
+            MigrationStepCompleted(time=awaiting.time, at=awaiting.completed_at)
+        )
         self._adapt(awaiting)
         self._runtime.sim.schedule(self._config.gap_s, self._issue_next)
 
     def _adapt(self, step: StepResult) -> None:
         """AIMD-style: overshoot halves the batch, clear headroom doubles it."""
         cfg = self._config
-        duration = step.duration or 0.0
+        duration = self._trace.step_duration(step.time) or 0.0
         if duration > cfg.target_step_s:
             self._batch = max(
                 cfg.min_batch, int(self._batch * cfg.shrink_factor)

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.timely.timestamp import Timestamp
 
 
 @dataclass(frozen=True)

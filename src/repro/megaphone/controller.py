@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.megaphone.migration import MigrationPlan
+from repro.runtime_events.events import MigrationStepCompleted, MigrationStepIssued
 from repro.timely.dataflow import InputGroup, Runtime
 from repro.timely.timestamp import Timestamp
 
@@ -176,10 +177,14 @@ class MigrationController:
             raise RuntimeError("control input closed while a migration is pending")
         time = handle.epoch
         handle.send(time, list(step.insts))
-        self._awaiting.append(
-            StepResult(
-                time=time, moves=len(step.insts), issued_at=self._runtime.sim.now
+        now = self._runtime.sim.now
+        trace = self._runtime.sim.trace
+        if trace.wants_migration:
+            trace.publish(
+                MigrationStepIssued(time=time, moves=len(step.insts), at=now)
             )
+        self._awaiting.append(
+            StepResult(time=time, moves=len(step.insts), issued_at=now)
         )
         self.result.steps.append(self._awaiting[-1])
         if self._pace_s is not None:
@@ -189,9 +194,14 @@ class MigrationController:
 
     def _check_progress(self, _frontier) -> None:
         completed_any = False
+        trace = self._runtime.sim.trace
         while self._awaiting and self._probe.passed(self._awaiting[0].time):
-            self._awaiting[0].completed_at = self._runtime.sim.now
-            self._awaiting.pop(0)
+            step = self._awaiting.pop(0)
+            step.completed_at = self._runtime.sim.now
+            if trace.wants_migration:
+                trace.publish(
+                    MigrationStepCompleted(time=step.time, at=step.completed_at)
+                )
             completed_any = True
         if completed_any and self._pace_s is None and not self._awaiting:
             self._runtime.sim.schedule(self._gap_s, self._issue_next)

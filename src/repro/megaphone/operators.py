@@ -28,6 +28,11 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.megaphone.bins import Bin, BinStore
+from repro.runtime_events.events import (
+    BinMigrationPlanned,
+    BinStateExtracted,
+    BinStateInstalled,
+)
 from repro.megaphone.control import BinnedConfiguration, ControlInst, bin_of
 from repro.megaphone.routing import RoutingTable
 from repro.timely.antichain import Antichain
@@ -203,6 +208,19 @@ class _FLogic:
             if self._worker_id == 0:
                 self._config.probe.note_planned(time, len(moves))
             if my_moves:
+                trace = ctx.trace
+                if trace.wants_migration:
+                    for bin_id, src, dst in my_moves:
+                        trace.publish(
+                            BinMigrationPlanned(
+                                name=self._config.name,
+                                time=time,
+                                bin=bin_id,
+                                src=src,
+                                dst=dst,
+                                at=ctx.now,
+                            )
+                        )
                 self._pending_migrations.append((time, my_moves))
             else:
                 # Nothing to ship from this worker: stop holding S back.
@@ -232,21 +250,37 @@ class _FLogic:
         store = self._store(ctx)
         cost = ctx.cost
         memory = ctx.memory
+        trace = ctx.trace
         for bin_id, _src, dst in moves:
             size = store.state_size(bin_id)
             bin_ = store.take(bin_id)
-            ctx.charge(cost.serialize_cost(size))
+            serialize_s = cost.serialize_cost(size)
+            ctx.charge(serialize_s)
             # The extracted original stays resident until the network has
             # drained the serialized copy (paper §5.3.5: the all-at-once
-            # memory spike is send-queue backlog).
+            # memory spike is send-queue backlog).  The cluster releases the
+            # retained bytes at transmit-complete.
             memory.add_retained(size)
             self._config.probe.note_bytes(time, size)
+            if trace.wants_migration:
+                trace.publish(
+                    BinStateExtracted(
+                        name=self._config.name,
+                        time=time,
+                        bin=bin_id,
+                        src=self._worker_id,
+                        dst=dst,
+                        size_bytes=size,
+                        serialize_s=serialize_s,
+                        at=ctx.now,
+                    )
+                )
             ctx.send(
                 1,
                 time,
                 [(dst, bin_, size)],
                 size_bytes=size,
-                on_transmitted=lambda s=size: memory.add_retained(-s),
+                retained_bytes=size,
             )
 
 
@@ -284,8 +318,21 @@ class _SLogic:
 
     def _install_state(self, ctx, time: Timestamp, records: list) -> None:
         store = self._store(ctx)
+        trace = ctx.trace
         for dst, bin_, size in records:
             store.install(bin_)
+            if trace.wants_migration:
+                trace.publish(
+                    BinStateInstalled(
+                        name=self._config.name,
+                        time=time,
+                        bin=bin_.bin_id,
+                        worker=ctx.worker_id,
+                        size_bytes=size,
+                        deserialize_s=ctx.cost.deserialize_cost(size),
+                        at=ctx.now,
+                    )
+                )
             for pending_time in bin_.pending.times():
                 self._schedule_bin(ctx, pending_time, bin_.bin_id)
 

@@ -1,0 +1,107 @@
+"""The cross-layer trace bus.
+
+One :class:`TraceBus` instance lives on the simulator and is reachable from
+every layer (workers, network, progress pump, Megaphone operators and
+controllers, harness).  Publishers guard each emission site with the bus's
+per-topic ``wants_*`` flag::
+
+    trace = self._sim.trace
+    if trace.wants_migration:
+        trace.publish(BinStateExtracted(...))
+
+so that with no subscriber attached a site costs a single attribute read —
+no event object is allocated and no dispatch happens.
+
+Subscribers are strictly observers.  They may record, aggregate, and
+filter, but they MUST NOT mutate runtime state or schedule simulation
+events: the simulation must be bit-identical with and without any set of
+subscribers attached.  Components whose *behaviour* depends on frontier
+movement (controllers, recorders that gate shutdown) use probes — a
+dataflow-semantic mechanism — not this bus.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.runtime_events.events import TOPICS
+
+Subscriber = Callable[[object], None]
+
+
+class TraceBus:
+    """Topic-keyed publish/subscribe fabric for structured runtime events."""
+
+    __slots__ = tuple(f"wants_{topic}" for topic in TOPICS) + ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: dict[str, list[Subscriber]] = {t: [] for t in TOPICS}
+        for topic in TOPICS:
+            setattr(self, f"wants_{topic}", False)
+
+    def subscribe(
+        self,
+        callback: Subscriber,
+        topics: Optional[Iterable[str]] = None,
+    ) -> Callable[[], None]:
+        """Attach ``callback`` to ``topics`` (all topics when ``None``).
+
+        Returns a zero-argument function that detaches the subscription
+        again.  Callbacks receive fully constructed event dataclasses and
+        must not mutate runtime state or schedule simulation events.
+        """
+        selected = TOPICS if topics is None else tuple(topics)
+        for topic in selected:
+            if topic not in self._subscribers:
+                raise ValueError(f"unknown trace topic {topic!r}; known: {TOPICS}")
+            self._subscribers[topic].append(callback)
+            setattr(self, f"wants_{topic}", True)
+
+        def unsubscribe() -> None:
+            for topic in selected:
+                subs = self._subscribers[topic]
+                if callback in subs:
+                    subs.remove(callback)
+                if not subs:
+                    setattr(self, f"wants_{topic}", False)
+
+        return unsubscribe
+
+    def publish(self, event) -> None:
+        """Deliver ``event`` to every subscriber of its topic.
+
+        Publishers should guard the call (and the event's construction)
+        with the topic's ``wants_*`` flag; calling unguarded is correct but
+        pays the allocation even when nobody listens.
+        """
+        for callback in self._subscribers[event.topic]:
+            callback(event)
+
+    def active_topics(self) -> tuple[str, ...]:
+        """Topics that currently have at least one subscriber."""
+        return tuple(t for t in TOPICS if self._subscribers[t])
+
+
+class TraceLog:
+    """A subscriber that records every event it receives, in order.
+
+    The simplest useful consumer: attach, run, inspect ``events``.  The
+    recorded order is the deterministic publication order.
+    """
+
+    def __init__(
+        self, bus: TraceBus, topics: Optional[Iterable[str]] = None
+    ) -> None:
+        self.events: list = []
+        self._unsubscribe = bus.subscribe(self.events.append, topics=topics)
+
+    def close(self) -> None:
+        """Detach from the bus."""
+        self._unsubscribe()
+
+    def of_type(self, event_type) -> list:
+        """All recorded events of one dataclass type."""
+        return [e for e in self.events if type(e) is event_type]
+
+    def __len__(self) -> int:
+        return len(self.events)

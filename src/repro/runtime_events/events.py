@@ -1,0 +1,247 @@
+"""Structured trace events.
+
+Every event is a frozen, slotted dataclass with an ``at`` field holding the
+simulated time at which it was observed, and a ``topic`` class attribute
+naming the subscription channel it travels on.  Publishers construct events
+only when the bus reports an attached subscriber for the topic, so defining
+many event types costs nothing at runtime.
+
+Topics group events by the layer that emits them:
+
+``activation``  worker scheduling quanta (begin/end with charged cost)
+``batch``       message/source batches as a worker processes them
+``send``        buffered operator sends leaving at an activation's flush
+``network``     messages entering and draining cluster send queues
+``frontier``    output-frontier movement observed by the progress pump
+``capability``  capabilities held and dropped by operator contexts
+``migration``   Megaphone's migration lifecycle, bin by bin
+``memory``      periodic per-process RSS samples
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional
+
+TOPIC_ACTIVATION = "activation"
+TOPIC_BATCH = "batch"
+TOPIC_SEND = "send"
+TOPIC_NETWORK = "network"
+TOPIC_FRONTIER = "frontier"
+TOPIC_CAPABILITY = "capability"
+TOPIC_MIGRATION = "migration"
+TOPIC_MEMORY = "memory"
+
+TOPICS = (
+    TOPIC_ACTIVATION,
+    TOPIC_BATCH,
+    TOPIC_SEND,
+    TOPIC_NETWORK,
+    TOPIC_FRONTIER,
+    TOPIC_CAPABILITY,
+    TOPIC_MIGRATION,
+    TOPIC_MEMORY,
+)
+
+
+# -- worker activations ---------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ActivationBegin:
+    """A worker's scheduling quantum started."""
+
+    topic: ClassVar[str] = TOPIC_ACTIVATION
+    worker: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class ActivationEnd:
+    """A worker's scheduling quantum finished deciding its work.
+
+    ``cost`` is the charged CPU seconds; the worker is busy until
+    ``busy_until`` and buffered sends leave at that time.
+    """
+
+    topic: ClassVar[str] = TOPIC_ACTIVATION
+    worker: int
+    start: float
+    cost: float
+    busy_until: float
+    batches: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class BatchDelivered:
+    """A worker processed one queued batch.
+
+    ``channel`` is ``None`` for source emissions (no channel involved).
+    """
+
+    topic: ClassVar[str] = TOPIC_BATCH
+    worker: int
+    op: int
+    channel: Optional[int]
+    time: object
+    records: int
+    size_bytes: float
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class SendFlushed:
+    """A buffered operator send was handed to the network."""
+
+    topic: ClassVar[str] = TOPIC_SEND
+    worker: int
+    op: int
+    port: int
+    time: object
+    records: int
+    at: float
+
+
+# -- network --------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MessageEnqueued:
+    """A message entered the cluster (and, cross-process, a send queue)."""
+
+    topic: ClassVar[str] = TOPIC_NETWORK
+    src_worker: int
+    dst_worker: int
+    size_bytes: float
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class MessageTransmitted:
+    """A message's last byte left the sender's queue."""
+
+    topic: ClassVar[str] = TOPIC_NETWORK
+    src_worker: int
+    dst_worker: int
+    size_bytes: float
+    at: float
+
+
+# -- progress -------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FrontierAdvanced:
+    """An operator's output frontier changed.
+
+    ``frontier`` is the :class:`repro.timely.antichain.Antichain` snapshot
+    computed by the progress pump for this change.
+    """
+
+    topic: ClassVar[str] = TOPIC_FRONTIER
+    op: int
+    frontier: object
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class CapabilityHeld:
+    """An operator context acquired a capability at ``time``."""
+
+    topic: ClassVar[str] = TOPIC_CAPABILITY
+    worker: int
+    op: int
+    time: object
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class CapabilityDropped:
+    """An operator context released a capability at ``time``."""
+
+    topic: ClassVar[str] = TOPIC_CAPABILITY
+    worker: int
+    op: int
+    time: object
+    at: float
+
+
+# -- migration lifecycle --------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationStepIssued:
+    """A controller injected one reconfiguration step into the control stream."""
+
+    topic: ClassVar[str] = TOPIC_MIGRATION
+    time: object
+    moves: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationStepCompleted:
+    """The probed output frontier passed a reconfiguration timestamp."""
+
+    topic: ClassVar[str] = TOPIC_MIGRATION
+    time: object
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class BinMigrationPlanned:
+    """F finalized a configuration update that moves ``bin`` off this worker."""
+
+    topic: ClassVar[str] = TOPIC_MIGRATION
+    name: str
+    time: object
+    bin: int
+    src: int
+    dst: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class BinStateExtracted:
+    """F took a bin out of the co-located store and queued it for shipping.
+
+    ``serialize_s`` is the CPU charged to serialize ``size_bytes`` of state.
+    """
+
+    topic: ClassVar[str] = TOPIC_MIGRATION
+    name: str
+    time: object
+    bin: int
+    src: int
+    dst: int
+    size_bytes: float
+    serialize_s: float
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class BinStateInstalled:
+    """S received a migrated bin and installed it into its store."""
+
+    topic: ClassVar[str] = TOPIC_MIGRATION
+    name: str
+    time: object
+    bin: int
+    worker: int
+    size_bytes: float
+    deserialize_s: float
+    at: float
+
+
+# -- memory ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MemorySampled:
+    """One periodic sample of a process's modeled RSS."""
+
+    topic: ClassVar[str] = TOPIC_MEMORY
+    process: int
+    rss_bytes: float
+    at: float

@@ -1,0 +1,85 @@
+"""Typed, slotted carriers for the runtime's hot-path values.
+
+These replace the ad-hoc tuples the worker and network layers historically
+threaded around: string-tagged work-item tuples, 5-element send-buffer
+tuples, and anonymous ``(channel, time, batch)`` network payloads.  Each
+class is a plain slotted dataclass — construction
+cost is comparable to a tuple, but every field has a name, a type, and a
+single definition the whole runtime shares.
+
+The ``channel`` fields hold :class:`repro.timely.graph.ChannelDesc`
+instances; they are typed as ``object`` here because this package sits
+below ``repro.timely`` and must not import it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(slots=True)
+class SourceWork:
+    """A batch injected by a source operator's input handle.
+
+    Queued on the owning worker and processed during an activation, which
+    charges ingest cost and forwards the records on output port 0.
+    """
+
+    op_index: int
+    time: object
+    records: list
+
+
+@dataclass(slots=True)
+class MessageWork:
+    """A message batch delivered on a channel, awaiting processing.
+
+    ``size_bytes`` is the modeled wire size, used for input-cost hooks
+    (e.g. state installation pays deserialization cost per byte).
+    """
+
+    channel: object
+    time: object
+    records: list
+    size_bytes: float
+
+
+@dataclass(slots=True)
+class BufferedSend:
+    """One ``OpContext.send`` awaiting the activation's flush.
+
+    A transient send-guard capability covers the send until the flush has
+    charged in-flight counts.  ``size_bytes`` is an explicit wire size
+    (``None`` derives it from the record count); ``retained_bytes`` is
+    sender memory that must stay resident until the network has drained
+    the message (migrating state keeps its serialized copy allocated —
+    the all-at-once RSS spike of paper §5.3.5).
+    """
+
+    port: int
+    time: object
+    records: list
+    size_bytes: Optional[float]
+    retained_bytes: float
+
+
+@dataclass(slots=True)
+class RoutedSend:
+    """A partitioned outbound batch, bound to one channel and destination."""
+
+    channel: object
+    dst_worker: int
+    time: object
+    records: list
+    size_bytes: float
+    retained_bytes: float
+
+
+@dataclass(slots=True)
+class ChannelPayload:
+    """The dataflow payload of one network message."""
+
+    channel: object
+    time: object
+    records: list

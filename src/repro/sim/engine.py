@@ -4,6 +4,11 @@ The engine keeps a single binary heap of pending events.  Events scheduled at
 the same simulated time fire in the order they were scheduled (a per-event
 sequence number breaks ties), which makes every simulation run fully
 deterministic and therefore reproducible and debuggable.
+
+The simulator also carries the process-wide :class:`~repro.runtime_events.bus.TraceBus`
+(as ``sim.trace``): every layer of the runtime holds a simulator reference, so
+the bus placed here is reachable from workers, the network, the progress pump,
+and the Megaphone operators without any extra plumbing.
 """
 
 from __future__ import annotations
@@ -12,6 +17,14 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.runtime_events.bus import TraceBus
+
+# Lazy deletion keeps cancellation O(1), but workloads that re-arm timers
+# (notificators, pacing controllers) can leave the heap dominated by dead
+# entries.  Once more than half the heap is cancelled (and the heap is big
+# enough for the sweep to matter) we rebuild it from the live events.
+_COMPACT_MIN_CANCELLED = 64
+
 
 @dataclass(order=True)
 class Event:
@@ -19,17 +32,22 @@ class Event:
 
     Events compare by ``(time, seq)`` so the heap pops them in deterministic
     order.  ``cancelled`` events stay in the heap but are skipped when popped
-    (lazy deletion), which keeps cancellation O(1).
+    (lazy deletion), which keeps cancellation O(1); the owning simulator
+    compacts the heap when cancelled entries outnumber live ones.
     """
 
     time: float
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Prevent this event from firing."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._note_cancelled()
 
 
 class Simulator:
@@ -46,9 +64,11 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
+        self.trace: TraceBus = TraceBus()
         self._heap: list[Event] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        self._cancelled: int = 0
 
     @property
     def events_processed(self) -> int:
@@ -70,14 +90,33 @@ class Simulator:
                 f"cannot schedule at {time!r}: simulated time is already {self.now!r}"
             )
         self._seq += 1
-        event = Event(time=time, seq=self._seq, callback=callback)
+        event = Event(time=time, seq=self._seq, callback=callback, owner=self)
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled > len(self._heap) // 2
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live events.
+
+        Safe at any point: ``(time, seq)`` keys form a unique total order, so
+        the rebuilt heap pops in exactly the same sequence as the old one.
+        """
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None if the heap is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         if not self._heap:
             return None
         return self._heap[0].time
@@ -87,6 +126,7 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = event.time
             self._events_processed += 1

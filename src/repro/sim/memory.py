@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.runtime_events.events import TOPIC_MEMORY
+
 
 class MemoryModel:
     """Per-process byte accounting with a high-water mark."""
@@ -103,3 +105,24 @@ class MemoryTimeline:
             else:
                 break
         return best
+
+
+class MemoryTimelineRecorder:
+    """Builds per-process RSS timelines from ``memory`` trace events.
+
+    The experiment driver publishes a :class:`~repro.runtime_events.events.MemorySampled`
+    event per process on every sampling tick; this recorder is the (purely
+    observational) consumer that turns the event stream into the
+    :class:`MemoryTimeline` objects reports and plots consume.
+    """
+
+    def __init__(self, bus, num_processes: int) -> None:
+        self.timelines = [MemoryTimeline(process=p) for p in range(num_processes)]
+        self._unsubscribe = bus.subscribe(self._on_event, topics=(TOPIC_MEMORY,))
+
+    def close(self) -> None:
+        """Detach from the bus."""
+        self._unsubscribe()
+
+    def _on_event(self, event) -> None:
+        self.timelines[event.process].record(event.at, event.rss_bytes)

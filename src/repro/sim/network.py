@@ -7,8 +7,10 @@ same process bypass the network.
 
 Links serialize transmissions: a message must wait for the link to drain the
 bytes queued ahead of it.  Bytes sitting in a link's send queue are charged
-to the sending process's memory model, which is what produces the all-at-once
-migration memory spikes of Figure 20.
+to the sending process's memory model, and a message's ``retained_bytes``
+(sender-side memory pinned until the bytes leave, e.g. serialized migration
+state) are released at transmit-complete — which is what produces the
+all-at-once migration memory spikes of Figure 20.
 """
 
 from __future__ import annotations
@@ -16,24 +18,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.runtime_events.events import MessageEnqueued, MessageTransmitted
 from repro.sim.cost import CostModel
 from repro.sim.engine import Simulator
 from repro.sim.memory import MemoryModel
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkMessage:
     """A payload in flight between two workers.
 
-    ``on_transmitted`` (if set) fires once the bytes have left the sender's
-    queue — senders use it to release retained memory.
+    ``retained_bytes`` is sender-side memory that must stay resident until
+    the bytes have left the sender's queue; the cluster releases it from the
+    sending process's ``retained`` pool at transmit-complete.
     """
 
     src_worker: int
     dst_worker: int
     size_bytes: float
     payload: object
-    on_transmitted: Optional[Callable[[], None]] = None
+    retained_bytes: float = 0.0
 
 
 class Link:
@@ -55,11 +59,11 @@ class Link:
         self,
         message: NetworkMessage,
         on_delivered: Callable[[NetworkMessage], None],
-        on_transmitted: Optional[Callable[[NetworkMessage], None]] = None,
+        on_sent: Optional[Callable[[NetworkMessage], None]] = None,
     ) -> float:
         """Queue ``message`` for transmission.
 
-        ``on_transmitted`` fires when the last byte leaves the send queue;
+        ``on_sent`` fires when the last byte leaves the send queue;
         ``on_delivered`` fires one propagation latency later at the receiver.
         Returns the delivery time.
         """
@@ -69,12 +73,12 @@ class Link:
         self._busy_until = done
         self.queued_bytes += message.size_bytes
 
-        def _transmitted() -> None:
+        def _sent() -> None:
             self.queued_bytes -= message.size_bytes
-            if on_transmitted is not None:
-                on_transmitted(message)
+            if on_sent is not None:
+                on_sent(message)
 
-        self._sim.schedule_at(done, _transmitted)
+        self._sim.schedule_at(done, _sent)
         delivery = done + self.latency
         self._sim.schedule_at(delivery, lambda: on_delivered(message))
         return delivery
@@ -154,30 +158,54 @@ class Cluster:
         """Route ``message`` from its source to its destination worker.
 
         Returns the simulated delivery time.  Cross-process sends charge the
-        bytes to the sender's send-queue memory until transmitted.
+        bytes to the sender's send-queue memory until transmitted; any
+        ``retained_bytes`` are released from the sender's retained pool when
+        the bytes leave the queue.
         """
+        trace = self.sim.trace
+        if trace.wants_network:
+            trace.publish(
+                MessageEnqueued(
+                    src_worker=message.src_worker,
+                    dst_worker=message.dst_worker,
+                    size_bytes=message.size_bytes,
+                    at=self.sim.now,
+                )
+            )
         src_proc = self.process_of(message.src_worker)
         dst_proc = self.process_of(message.dst_worker)
-        if message.src_worker == message.dst_worker:
-            delivery = self.sim.now
-            if message.on_transmitted is not None:
-                message.on_transmitted()
-            self.sim.schedule(0.0, lambda: on_delivered(message))
-            return delivery
         if src_proc.index == dst_proc.index:
-            delivery = self.sim.now + self.intra_process_latency
-            if message.on_transmitted is not None:
-                message.on_transmitted()
-            self.sim.schedule_at(delivery, lambda: on_delivered(message))
+            # In-process: no send queue — the bytes "leave" immediately.
+            self._mark_transmitted(src_proc, message)
+            if message.src_worker == message.dst_worker:
+                delivery = self.sim.now
+                self.sim.schedule(0.0, lambda: on_delivered(message))
+            else:
+                delivery = self.sim.now + self.intra_process_latency
+                self.sim.schedule_at(delivery, lambda: on_delivered(message))
             return delivery
 
         src_proc.memory.add_send_queue(message.size_bytes)
 
-        def _transmitted(msg: NetworkMessage) -> None:
+        def _sent(msg: NetworkMessage) -> None:
             src_proc.memory.add_send_queue(-msg.size_bytes)
-            if msg.on_transmitted is not None:
-                msg.on_transmitted()
+            self._mark_transmitted(src_proc, msg)
 
         return self.link(src_proc.index, dst_proc.index).transmit(
-            message, on_delivered, _transmitted
+            message, on_delivered, _sent
         )
+
+    def _mark_transmitted(self, src_proc: Process, message: NetworkMessage) -> None:
+        """The message's last byte left the sender: release retained memory."""
+        if message.retained_bytes:
+            src_proc.memory.add_retained(-message.retained_bytes)
+        trace = self.sim.trace
+        if trace.wants_network:
+            trace.publish(
+                MessageTransmitted(
+                    src_worker=message.src_worker,
+                    dst_worker=message.dst_worker,
+                    size_bytes=message.size_bytes,
+                    at=self.sim.now,
+                )
+            )

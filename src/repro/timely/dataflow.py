@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.runtime_events.events import FrontierAdvanced
 from repro.sim.engine import Simulator
 from repro.sim.network import Cluster
 from repro.timely.graph import ChannelDesc, GraphBuilder, Pact
@@ -320,9 +321,15 @@ class Runtime:
         for op_index in to_note:
             for worker in self.workers:
                 worker.note_frontier(op_index)
+        trace = self.sim.trace
         for op_index in changes.outputs:
+            frontier = self.tracker.output_frontier(op_index)
+            if trace.wants_frontier:
+                trace.publish(
+                    FrontierAdvanced(op=op_index, frontier=frontier, at=self.sim.now)
+                )
             for probe in self._probes.get(op_index, ()):
-                probe._fire(self.tracker.output_frontier(op_index))
+                probe._fire(frontier)
         # Callbacks (probe controllers) may have injected new updates.
         self.mark_progress()
 

@@ -21,14 +21,34 @@ therefore correct):
 * a transient "send guard" capability covers each buffered send until the
   flush has charged its in-flight counts, closing the window between a
   send decision and its accounting.
+
+Work items and buffered sends are the typed carriers from
+:mod:`repro.runtime_events.items`; scheduling quanta, batch deliveries,
+send flushes, and capability movements publish structured trace events when
+the simulator's bus has subscribers for the matching topics.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.runtime_events.events import (
+    ActivationBegin,
+    ActivationEnd,
+    BatchDelivered,
+    CapabilityDropped,
+    CapabilityHeld,
+    SendFlushed,
+)
+from repro.runtime_events.items import (
+    BufferedSend,
+    ChannelPayload,
+    MessageWork,
+    RoutedSend,
+    SourceWork,
+)
 from repro.sim.network import NetworkMessage
 from repro.timely.antichain import Antichain
 from repro.timely.graph import ChannelDesc, OperatorDesc
@@ -56,7 +76,7 @@ class OpContext:
         self._runtime = runtime
         self._worker = worker
         self._desc = desc
-        self._send_buffer: list[tuple[int, Timestamp, list, Optional[float], Optional[object]]] = []
+        self._send_buffer: list[BufferedSend] = []
         self._notify_heap: list[tuple] = []
         self._notify_pending: set[Timestamp] = set()
         self._held_capabilities: dict[Timestamp, int] = {}
@@ -96,6 +116,11 @@ class OpContext:
         return self._runtime.cluster.process_of(self.worker_id).memory
 
     @property
+    def trace(self):
+        """The simulator's trace bus (for operator-level publishers)."""
+        return self._runtime.sim.trace
+
+    @property
     def shared(self) -> dict:
         """Per-worker dictionary shared by all operators on this worker.
 
@@ -113,7 +138,7 @@ class OpContext:
         time: Timestamp,
         records: list,
         size_bytes: Optional[float] = None,
-        on_transmitted=None,
+        retained_bytes: float = 0.0,
     ) -> None:
         """Emit ``records`` at ``time`` on output ``port``.
 
@@ -121,6 +146,10 @@ class OpContext:
         being processed, or the operator's output frontier; otherwise the
         operator could violate its published progress statements, and we
         fail loudly instead.
+
+        ``retained_bytes`` is sender memory pinned until the network drains
+        the message (the cluster releases it from the process's retained
+        pool at transmit-complete).
         """
         if not self._can_send_at(time):
             raise RuntimeError(
@@ -132,7 +161,15 @@ class OpContext:
         # capability between the send decision and the flush could let the
         # frontier advance past the outgoing batch.
         self._runtime.tracker.capability_update(self._desc.index, time, +1)
-        self._send_buffer.append((port, time, records, size_bytes, on_transmitted))
+        self._send_buffer.append(
+            BufferedSend(
+                port=port,
+                time=time,
+                records=records,
+                size_bytes=size_bytes,
+                retained_bytes=retained_bytes,
+            )
+        )
 
     def _can_send_at(self, time: Timestamp) -> bool:
         if self._current_batch_time is not None and less_equal(
@@ -176,6 +213,16 @@ class OpContext:
             )
         self._held_capabilities[time] = self._held_capabilities.get(time, 0) + 1
         self._runtime.tracker.capability_update(self._desc.index, time, +1)
+        trace = self._runtime.sim.trace
+        if trace.wants_capability:
+            trace.publish(
+                CapabilityHeld(
+                    worker=self.worker_id,
+                    op=self._desc.index,
+                    time=time,
+                    at=self._runtime.sim.now,
+                )
+            )
 
     def release_capability(self, time: Timestamp) -> None:
         """Release one previously held capability at ``time``."""
@@ -190,6 +237,16 @@ class OpContext:
         else:
             self._held_capabilities[time] = count - 1
         self._runtime.tracker.capability_update(self._desc.index, time, -1)
+        trace = self._runtime.sim.trace
+        if trace.wants_capability:
+            trace.publish(
+                CapabilityDropped(
+                    worker=self.worker_id,
+                    op=self._desc.index,
+                    time=time,
+                    at=self._runtime.sim.now,
+                )
+            )
 
     def held_capabilities(self) -> list[Timestamp]:
         """Times at which this instance explicitly holds capabilities."""
@@ -237,7 +294,7 @@ class OpContext:
                 return time
         return None
 
-    def _take_sends(self) -> list[tuple[int, Timestamp, list, Optional[float], Optional[object]]]:
+    def _take_sends(self) -> list[BufferedSend]:
         sends = self._send_buffer
         self._send_buffer = []
         return sends
@@ -257,6 +314,12 @@ class WorkerRuntime:
         self.shared: dict = {}
         self.contexts: list[OpContext] = []
         self.logics: list[object] = []
+        # Hook tables populated once at install() — per-activation getattr
+        # on logic objects is measurable on the hot path.
+        self._on_input: list[Optional[Callable]] = []
+        self._on_frontier: list[Optional[Callable]] = []
+        self._on_notify: list[Optional[Callable]] = []
+        self._input_cost: list[Optional[Callable]] = []
         self._work: deque = deque()
         self._frontier_pending: set[int] = set()
         self._busy_until = 0.0
@@ -268,11 +331,16 @@ class WorkerRuntime:
         return self._busy_until
 
     def install(self, desc: OperatorDesc, logic: object) -> OpContext:
-        """Create the context for ``desc`` and remember its logic."""
+        """Create the context for ``desc``, remember its logic, and cache
+        its optional hook methods."""
         assert desc.index == len(self.contexts)
         ctx = OpContext(self._runtime, self, desc)
         self.contexts.append(ctx)
         self.logics.append(logic)
+        self._on_input.append(getattr(logic, "on_input", None))
+        self._on_frontier.append(getattr(logic, "on_frontier", None))
+        self._on_notify.append(getattr(logic, "on_notify", None))
+        self._input_cost.append(getattr(logic, "input_cost", None))
         return ctx
 
     # -- work intake -----------------------------------------------------------
@@ -281,12 +349,14 @@ class WorkerRuntime:
         self, channel: ChannelDesc, time: Timestamp, records: list, size_bytes: float
     ) -> None:
         """A batch arrived on ``channel`` for this worker."""
-        self._work.append(("msg", channel, time, records, size_bytes))
+        self._work.append(
+            MessageWork(channel=channel, time=time, records=records, size_bytes=size_bytes)
+        )
         self.activate()
 
     def enqueue_source(self, op_index: int, time: Timestamp, records: list) -> None:
         """The input handle of source ``op_index`` injected a batch."""
-        self._work.append(("source", op_index, time, records))
+        self._work.append(SourceWork(op_index=op_index, time=time, records=records))
         self.activate()
 
     def note_frontier(self, op_index: int) -> None:
@@ -311,9 +381,12 @@ class WorkerRuntime:
     def _run_activation(self) -> None:
         self._activation_scheduled = False
         sim = self._runtime.sim
+        trace = sim.trace
+        if trace.wants_activation:
+            trace.publish(ActivationBegin(worker=self.worker_id, at=sim.now))
         start = max(sim.now, self._busy_until)
         cost = 0.0
-        sends: list[tuple[OpContext, int, Timestamp, list, Optional[float]]] = []
+        sends: list[tuple[OpContext, BufferedSend]] = []
         # Progress *decrements* (consumed messages, released capabilities)
         # take effect when the CPU work completes, not when it starts —
         # otherwise frontiers would advance before the cost of advancing
@@ -323,10 +396,12 @@ class WorkerRuntime:
         cost += self._deliver_frontiers(sends, deferred)
 
         batches = self._runtime.batches_per_activation
+        processed = 0
         for _ in range(batches):
             if not self._work:
                 break
             cost += self._process_one(self._work.popleft(), sends, deferred)
+            processed += 1
 
         self._busy_until = start + cost
         if sends:
@@ -338,6 +413,17 @@ class WorkerRuntime:
                 self._runtime.mark_progress()
 
             sim.schedule_at(self._busy_until, _apply)
+        if trace.wants_activation:
+            trace.publish(
+                ActivationEnd(
+                    worker=self.worker_id,
+                    start=start,
+                    cost=cost,
+                    busy_until=self._busy_until,
+                    batches=processed,
+                    at=sim.now,
+                )
+            )
         if self.has_pending_work():
             self.activate()
         self._runtime.mark_progress()
@@ -350,12 +436,11 @@ class WorkerRuntime:
         tracker = self._runtime.tracker
         for op_index in pending:
             ctx = self.contexts[op_index]
-            logic = self.logics[op_index]
-            on_frontier = getattr(logic, "on_frontier", None)
+            on_frontier = self._on_frontier[op_index]
             if on_frontier is not None:
                 on_frontier(ctx)
                 cost += cost_model.progress_update_cost
-            on_notify = getattr(logic, "on_notify", None)
+            on_notify = self._on_notify[op_index]
             while True:
                 time = ctx._pop_due_notification()
                 if time is None:
@@ -371,23 +456,36 @@ class WorkerRuntime:
                 )
                 cost += cost_model.progress_update_cost
             cost += ctx._take_extra_cost()
-            sends.extend(
-                (ctx, port, time, records, size, on_tx)
-                for port, time, records, size, on_tx in ctx._take_sends()
-            )
+            buffered = ctx._take_sends()
+            if buffered:
+                sends.extend((ctx, item) for item in buffered)
         return cost
 
-    def _process_one(self, item: tuple, sends: list, deferred: list) -> float:
+    def _process_one(self, item, sends: list, deferred: list) -> float:
         cost_model = self._runtime.cluster.cost
         tracker = self._runtime.tracker
-        kind = item[0]
-        if kind == "source":
-            _, op_index, time, records = item
+        trace = self._runtime.sim.trace
+        if type(item) is SourceWork:
+            op_index = item.op_index
+            time = item.time
+            records = item.records
             ctx = self.contexts[op_index]
             cost = (
                 cost_model.batch_overhead
                 + len(records) * cost_model.ingest_record_cost
             )
+            if trace.wants_batch:
+                trace.publish(
+                    BatchDelivered(
+                        worker=self.worker_id,
+                        op=op_index,
+                        channel=None,
+                        time=time,
+                        records=len(records),
+                        size_bytes=0.0,
+                        at=self._runtime.sim.now,
+                    )
+                )
             ctx._current_batch_time = time
             try:
                 ctx.send(0, time, records)
@@ -398,33 +496,45 @@ class WorkerRuntime:
                 lambda op=op_index, t=time: tracker.capability_update(op, t, -1)
             )
         else:
-            _, channel, time, records, size_bytes = item
+            channel = item.channel
+            time = item.time
+            records = item.records
             op_index = channel.dst_op
             ctx = self.contexts[op_index]
-            logic = self.logics[op_index]
-            input_cost = getattr(logic, "input_cost", None)
+            input_cost = self._input_cost[op_index]
             if input_cost is not None:
                 cost = cost_model.batch_overhead + input_cost(
-                    ctx, channel.dst_port, records, size_bytes
+                    ctx, channel.dst_port, records, item.size_bytes
                 )
             else:
                 cost = (
                     cost_model.batch_overhead
                     + len(records) * cost_model.record_cost
                 )
+            if trace.wants_batch:
+                trace.publish(
+                    BatchDelivered(
+                        worker=self.worker_id,
+                        op=op_index,
+                        channel=channel.index,
+                        time=time,
+                        records=len(records),
+                        size_bytes=item.size_bytes,
+                        at=self._runtime.sim.now,
+                    )
+                )
             ctx._current_batch_time = time
             try:
-                logic.on_input(ctx, channel.dst_port, time, records)
+                self._on_input[op_index](ctx, channel.dst_port, time, records)
             finally:
                 ctx._current_batch_time = None
             deferred.append(
                 lambda ch=channel.index, t=time: tracker.message_consumed(ch, t)
             )
         cost += ctx._take_extra_cost()
-        sends.extend(
-            (ctx, port, t, recs, size, on_tx)
-            for port, t, recs, size, on_tx in ctx._take_sends()
-        )
+        buffered = ctx._take_sends()
+        if buffered:
+            sends.extend((ctx, item) for item in buffered)
         return cost
 
     def _flush_sends(self, sends: list, emit_at: float) -> None:
@@ -435,39 +545,67 @@ class WorkerRuntime:
         """
         runtime = self._runtime
         cost_model = runtime.cluster.cost
-        outgoing: list[tuple[ChannelDesc, int, Timestamp, list, float, object]] = []
-        for ctx, port, time, records, size_bytes, on_tx in sends:
-            for channel in runtime.channels_from(ctx.op_index, port):
+        trace = runtime.sim.trace
+        outgoing: list[RoutedSend] = []
+        for ctx, buffered in sends:
+            records = buffered.records
+            time = buffered.time
+            if trace.wants_send:
+                trace.publish(
+                    SendFlushed(
+                        worker=self.worker_id,
+                        op=ctx.op_index,
+                        port=buffered.port,
+                        time=time,
+                        records=len(records),
+                        at=runtime.sim.now,
+                    )
+                )
+            for channel in runtime.channels_from(ctx.op_index, buffered.port):
                 parts = self._partition(channel, records)
                 for dst_worker, batch in parts.items():
-                    if size_bytes is None:
+                    fraction = len(batch) / max(len(records), 1)
+                    if buffered.size_bytes is None:
                         bytes_ = len(batch) * cost_model.message_bytes_per_record
                     else:
                         # Explicit sizes (migrating state) are per-send,
                         # split proportionally if fanned out.
-                        bytes_ = size_bytes * (len(batch) / max(len(records), 1))
+                        bytes_ = buffered.size_bytes * fraction
                     runtime.tracker.message_sent(channel.index, time)
-                    outgoing.append((channel, dst_worker, time, batch, bytes_, on_tx))
+                    outgoing.append(
+                        RoutedSend(
+                            channel=channel,
+                            dst_worker=dst_worker,
+                            time=time,
+                            records=batch,
+                            size_bytes=bytes_,
+                            retained_bytes=buffered.retained_bytes * fraction,
+                        )
+                    )
             # In-flight counts now cover the batch: drop the send guard.
             runtime.tracker.capability_update(ctx.op_index, time, -1)
         if not outgoing:
             return
 
         def _dispatch() -> None:
-            for channel, dst_worker, time, batch, bytes_, on_tx in outgoing:
+            for routed in outgoing:
                 message = NetworkMessage(
                     src_worker=self.worker_id,
-                    dst_worker=dst_worker,
-                    size_bytes=bytes_,
-                    payload=(channel, time, batch),
-                    on_transmitted=on_tx,
+                    dst_worker=routed.dst_worker,
+                    size_bytes=routed.size_bytes,
+                    payload=ChannelPayload(
+                        channel=routed.channel,
+                        time=routed.time,
+                        records=routed.records,
+                    ),
+                    retained_bytes=routed.retained_bytes,
                 )
                 runtime.cluster.send(message, _deliver)
 
         def _deliver(message: NetworkMessage) -> None:
-            channel, time, batch = message.payload
+            payload = message.payload
             runtime.workers[message.dst_worker].enqueue_message(
-                channel, time, batch, message.size_bytes
+                payload.channel, payload.time, payload.records, message.size_bytes
             )
 
         runtime.sim.schedule_at(emit_at, _dispatch)

@@ -2,7 +2,6 @@
 
 from dataclasses import dataclass, field
 
-from repro.megaphone.api import state_machine
 from repro.megaphone.control import BinnedConfiguration, stable_hash
 from repro.megaphone.controller import EpochTicker, MigrationController
 from repro.megaphone.migration import imbalanced_target, make_plan
@@ -42,12 +41,15 @@ def drive_wordcount(
     records_per_epoch_per_worker=5,
     n_keys=20,
     target_fn=imbalanced_target,
+    instrument=None,
 ):
     """Run word count under an optional migration strategy.
 
     Returns a :class:`WordCountRun`.  The workload is deterministic: every
     epoch, every worker sends ``records_per_epoch_per_worker`` increments
-    cycling over ``n_keys`` keys.
+    cycling over ``n_keys`` keys.  ``instrument``, if given, is called with
+    the built runtime before anything runs (e.g. to attach trace
+    subscribers).
     """
     run = WordCountRun()
     df = make_dataflow(num_workers=num_workers, workers_per_process=2)
@@ -80,6 +82,8 @@ def drive_wordcount(
     out_probe = df.probe(op.output)
     runtime = df.build()
     run.runtime = runtime
+    if instrument is not None:
+        instrument(runtime)
     sim = runtime.sim
     tick_s = epoch_ms / 1000.0
 

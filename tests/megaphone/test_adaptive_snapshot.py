@@ -1,6 +1,5 @@
 """Tests for the adaptive controller and bin-granular snapshots."""
 
-import pytest
 
 from repro.megaphone.adaptive import AdaptiveConfig, AdaptiveMigrationController
 from repro.megaphone.control import BinnedConfiguration, stable_hash

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.megaphone.control import BinnedConfiguration, bin_of, stable_hash
-from repro.megaphone.migration import make_plan
 from tests.megaphone.driver import drive_wordcount, expected_counts
 
 PARAMS = dict(num_workers=4, n_epochs=40, records_per_epoch_per_worker=5, n_keys=20)

@@ -6,7 +6,6 @@ independently (via separate configuration update streams), or in a
 coordinated manner by re-using the same configuration update stream."
 """
 
-import pytest
 
 from repro.megaphone.control import BinnedConfiguration, bin_of, stable_hash
 from repro.megaphone.controller import EpochTicker, MigrationController

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.megaphone.control import BinnedConfiguration, bin_of, stable_hash
 from repro.megaphone.controller import EpochTicker, MigrationController
-from repro.megaphone.migration import MigrationPlan, MigrationStep, make_plan
+from repro.megaphone.migration import make_plan
 from repro.megaphone.operators import build_migrateable
 from tests.helpers import make_dataflow
 

@@ -3,7 +3,6 @@ produce the same results on identical inputs — with and without migration."""
 
 import pytest
 
-from repro.megaphone.control import BinnedConfiguration
 from repro.megaphone.controller import EpochTicker, MigrationController
 from repro.megaphone.migration import imbalanced_target, make_plan
 from repro.nexmark.config import NexmarkConfig

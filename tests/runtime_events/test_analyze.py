@@ -1,0 +1,126 @@
+"""Tests for the migration-timeline analyzer.
+
+The synthetic tests check the bookkeeping; the integration test checks the
+load-bearing invariant: the five phases partition each bin's step duration
+exactly, and for completion-paced fluid migrations the per-step totals sum
+to the measured migration duration.
+"""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, run_count_experiment
+from repro.runtime_events import (
+    BinMigrationPlanned,
+    BinStateExtracted,
+    BinStateInstalled,
+    MigrationStepCompleted,
+    MigrationStepIssued,
+    MigrationTrace,
+    TraceBus,
+)
+
+
+def _synthetic_trace():
+    bus = TraceBus()
+    trace = MigrationTrace(bus)
+    bus.publish(MigrationStepIssued(time=100, moves=1, at=1.0))
+    bus.publish(
+        BinMigrationPlanned(name="op", time=100, bin=3, src=0, dst=1, at=1.01)
+    )
+    bus.publish(
+        BinStateExtracted(
+            name="op", time=100, bin=3, src=0, dst=1,
+            size_bytes=1000.0, serialize_s=0.02, at=1.1,
+        )
+    )
+    bus.publish(
+        BinStateInstalled(
+            name="op", time=100, bin=3, worker=1,
+            size_bytes=1000.0, deserialize_s=0.01, at=1.3,
+        )
+    )
+    bus.publish(MigrationStepCompleted(time=100, at=1.5))
+    return trace
+
+
+def test_synthetic_phase_partition():
+    breakdown = _synthetic_trace().phase_breakdown()
+    assert breakdown.incomplete == 0
+    (row,) = breakdown.rows
+    assert row.bin == 3
+    assert row.src == 0 and row.dst == 1
+    assert row.drain_s == pytest.approx(0.1)  # 1.0 -> 1.1
+    assert row.extract_s == pytest.approx(0.02)
+    assert row.ship_s == pytest.approx(1.3 - 1.12)
+    assert row.install_s == pytest.approx(0.01)
+    assert row.catchup_s == pytest.approx(1.5 - 1.31)
+    assert row.total_s == pytest.approx(0.5)  # exactly issued -> completed
+    assert breakdown.total_duration() == pytest.approx(0.5)
+
+
+def test_synthetic_step_duration_query():
+    trace = _synthetic_trace()
+    assert trace.step_duration(100) == pytest.approx(0.5)
+    assert trace.step_duration(999) is None
+
+
+def test_incomplete_bins_are_counted_not_rowed():
+    bus = TraceBus()
+    trace = MigrationTrace(bus)
+    bus.publish(MigrationStepIssued(time=100, moves=1, at=1.0))
+    bus.publish(
+        BinStateExtracted(
+            name="op", time=100, bin=5, src=0, dst=1,
+            size_bytes=10.0, serialize_s=0.0, at=1.1,
+        )
+    )
+    # Never installed, never completed.
+    breakdown = trace.phase_breakdown()
+    assert breakdown.rows == []
+    assert breakdown.incomplete == 1
+
+
+def _traced_config(strategy="fluid"):
+    return ExperimentConfig(
+        num_workers=4,
+        workers_per_process=2,
+        num_bins=32,
+        domain=20_000,
+        rate=4000.0,
+        duration_s=4.0,
+        migrate_at_s=(1.5,),
+        strategy=strategy,
+        collect_trace=True,
+    )
+
+
+def test_experiment_phase_partition_matches_step_durations():
+    result = run_count_experiment(_traced_config())
+    trace = result.migration_trace
+    assert trace is not None
+    breakdown = trace.phase_breakdown()
+    assert breakdown.rows, "fluid migration should move bins"
+    assert breakdown.incomplete == 0
+
+    # Every phase is a real (non-negative) interval.
+    for row in breakdown.rows:
+        for value in row.phase_values():
+            assert value >= -1e-12
+
+    # Each bin's phases partition its step's measured duration exactly.
+    steps = {s.time: s for s in result.migrations[0].steps}
+    for row in breakdown.rows:
+        assert row.total_s == pytest.approx(steps[row.time].duration, abs=1e-12)
+
+    # Fluid + completion pacing + zero gap: per-step totals sum to the
+    # measured migration duration (the acceptance identity).
+    assert breakdown.total_duration() == pytest.approx(
+        result.migration_duration(0), abs=1e-9
+    )
+
+
+def test_experiment_trace_absent_without_collect_trace():
+    cfg = _traced_config()
+    cfg.collect_trace = False
+    result = run_count_experiment(cfg)
+    assert result.migration_trace is None

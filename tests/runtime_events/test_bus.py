@@ -1,0 +1,92 @@
+"""Unit tests for the trace bus and its recording subscriber."""
+
+import pytest
+
+from repro.runtime_events import (
+    TOPIC_MIGRATION,
+    TOPIC_NETWORK,
+    TOPICS,
+    MessageEnqueued,
+    MessageTransmitted,
+    MigrationStepCompleted,
+    TraceBus,
+    TraceLog,
+)
+
+
+def test_wants_flags_default_false():
+    bus = TraceBus()
+    for topic in TOPICS:
+        assert getattr(bus, f"wants_{topic}") is False
+    assert bus.active_topics() == ()
+
+
+def test_subscribe_sets_and_unsubscribe_clears_wants_flag():
+    bus = TraceBus()
+    unsubscribe = bus.subscribe(lambda e: None, topics=(TOPIC_NETWORK,))
+    assert bus.wants_network is True
+    assert bus.wants_migration is False
+    assert bus.active_topics() == (TOPIC_NETWORK,)
+    unsubscribe()
+    assert bus.wants_network is False
+    assert bus.active_topics() == ()
+
+
+def test_publish_routes_by_topic():
+    bus = TraceBus()
+    network, migration = [], []
+    bus.subscribe(network.append, topics=(TOPIC_NETWORK,))
+    bus.subscribe(migration.append, topics=(TOPIC_MIGRATION,))
+    sent = MessageEnqueued(src_worker=0, dst_worker=1, size_bytes=10.0, at=0.5)
+    done = MigrationStepCompleted(time=100, at=0.7)
+    bus.publish(sent)
+    bus.publish(done)
+    assert network == [sent]
+    assert migration == [done]
+
+
+def test_subscribe_all_topics_by_default():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe(seen.append)
+    for topic in TOPICS:
+        assert getattr(bus, f"wants_{topic}") is True
+    bus.publish(MessageEnqueued(src_worker=0, dst_worker=1, size_bytes=1.0, at=0.0))
+    bus.publish(MigrationStepCompleted(time=1, at=0.0))
+    assert len(seen) == 2
+
+
+def test_unknown_topic_rejected():
+    bus = TraceBus()
+    with pytest.raises(ValueError, match="unknown trace topic"):
+        bus.subscribe(lambda e: None, topics=("bogus",))
+
+
+def test_wants_flag_survives_other_subscriber_leaving():
+    bus = TraceBus()
+    first = bus.subscribe(lambda e: None, topics=(TOPIC_NETWORK,))
+    bus.subscribe(lambda e: None, topics=(TOPIC_NETWORK,))
+    first()
+    assert bus.wants_network is True
+
+
+def test_trace_log_records_in_order_and_filters_by_type():
+    bus = TraceBus()
+    log = TraceLog(bus, topics=(TOPIC_NETWORK,))
+    a = MessageEnqueued(src_worker=0, dst_worker=1, size_bytes=1.0, at=0.1)
+    b = MessageTransmitted(src_worker=0, dst_worker=1, size_bytes=1.0, at=0.2)
+    bus.publish(a)
+    bus.publish(b)
+    bus.publish(MigrationStepCompleted(time=1, at=0.3))  # other topic: unseen
+    assert log.events == [a, b]
+    assert log.of_type(MessageTransmitted) == [b]
+    assert len(log) == 2
+    log.close()
+    bus.publish(a)
+    assert len(log) == 2
+
+
+def test_events_are_frozen():
+    event = MessageEnqueued(src_worker=0, dst_worker=1, size_bytes=1.0, at=0.0)
+    with pytest.raises(AttributeError):
+        event.size_bytes = 2.0

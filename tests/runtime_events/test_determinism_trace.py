@@ -1,0 +1,76 @@
+"""Attaching trace subscribers must not perturb the simulation.
+
+The bus contract says subscribers are pure observers; these tests enforce it
+end to end: identical seeds produce bit-identical outputs, event counts, and
+latency series whether or not a subscriber — even one recording every topic —
+is attached.
+"""
+
+from repro.harness.experiment import ExperimentConfig, run_count_experiment
+from repro.runtime_events import TraceLog
+from tests.megaphone.driver import drive_wordcount
+
+
+def _wordcount_fingerprint(run):
+    sim = run.runtime.sim
+    steps = [
+        (s.time, s.moves, s.issued_at, s.completed_at) for s in run.result.steps
+    ]
+    return (
+        repr(run.outputs),
+        repr(run.applications),
+        repr(steps),
+        sim.events_processed,
+        sim.now,
+    )
+
+
+def test_all_topic_subscriber_does_not_change_wordcount():
+    base = drive_wordcount(strategy="fluid")
+
+    captured = {}
+
+    def instrument(runtime):
+        captured["log"] = TraceLog(runtime.sim.trace)  # every topic
+
+    traced = drive_wordcount(strategy="fluid", instrument=instrument)
+
+    assert _wordcount_fingerprint(base) == _wordcount_fingerprint(traced)
+    # The subscriber really did observe the run.
+    assert len(captured["log"]) > 0
+
+
+def _experiment_fingerprint(result):
+    steps = [
+        (s.time, s.moves, s.issued_at, s.completed_at)
+        for m in result.migrations
+        for s in m.steps
+    ]
+    return (
+        result.timeline.series(),
+        repr(steps),
+        result.records_injected,
+        result.sim_events,
+    )
+
+
+def test_collect_trace_does_not_change_experiment_series():
+    def run(collect):
+        cfg = ExperimentConfig(
+            num_workers=4,
+            workers_per_process=2,
+            num_bins=16,
+            domain=10_000,
+            rate=3000.0,
+            duration_s=3.0,
+            migrate_at_s=(1.0,),
+            strategy="batched",
+            batch_size=4,
+            collect_trace=collect,
+        )
+        return run_count_experiment(cfg)
+
+    plain = run(False)
+    traced = run(True)
+    assert _experiment_fingerprint(plain) == _experiment_fingerprint(traced)
+    assert traced.migration_trace.phase_breakdown().rows

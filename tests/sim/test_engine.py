@@ -149,3 +149,41 @@ def test_property_equal_times_preserve_fifo(items):
     # Stable sort by time must equal the observed order, because ties fire
     # in scheduling order.
     assert observed == sorted(items, key=lambda x: x[0])
+
+
+def test_heap_compaction_drops_cancelled_events():
+    sim = Simulator()
+    events = [sim.schedule(float(i), lambda: None) for i in range(300)]
+    for event in events[:200]:
+        event.cancel()
+    # Compaction triggers once cancellations dominate the heap, so the
+    # cancelled prefix must not linger until pop time.
+    assert len(sim._heap) <= 150
+    sim.run()
+    assert sim.events_processed == 100
+    assert sim.now == 299.0
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim._cancelled == 1
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_compaction_preserves_firing_order():
+    sim = Simulator()
+    fired = []
+    keep = []
+    for i in range(300):
+        event = sim.schedule(1.0, lambda i=i: fired.append(i))
+        if i % 3 == 0:
+            keep.append(i)
+        else:
+            event.cancel()
+    sim.run()
+    # Ties fire in scheduling order even after the heap was rebuilt.
+    assert fired == keep

@@ -46,3 +46,17 @@ def test_compare_command_runs(capsys):
     out = capsys.readouterr().out
     for strategy in ("all-at-once", "fluid", "batched", "optimized"):
         assert strategy in out
+
+
+def test_trace_command_prints_phase_breakdown(capsys):
+    code = main([
+        "trace", "--domain", "10000", "--rate", "2000", "--duration", "2",
+        "--workers", "4", "--workers-per-process", "2", "--bins", "16",
+        "--migrate-at", "1.0",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "migration phases" in out
+    assert "drain" in out
+    assert "catch-up" in out
+    assert "measured migration duration" in out

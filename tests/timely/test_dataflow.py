@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.timely.graph import Exchange
 from repro.timely.operators import FnLogic, concatenate
 from tests.helpers import feed_epochs, make_dataflow
 

@@ -1,0 +1,99 @@
+"""Progress-accounting discipline tests.
+
+Two windows where a frontier could illegally overtake outstanding work:
+
+* between an operator's send decision and the flush that charges in-flight
+  counts (closed by the transient send-guard capability in
+  ``OpContext.send``), and
+* between a batch's delivery and the completion of its CPU work (closed by
+  deferring progress decrements to ``busy_until`` in ``_run_activation``).
+"""
+
+from repro.timely.graph import Pipeline
+from tests.helpers import FAST_COST, feed_epochs, make_dataflow
+
+LATE_TIME = 7
+
+
+class _HoldAndSendLate:
+    """Holds a capability at LATE_TIME, then sends there and releases the
+    capability *in the same callback* — the pattern that relies on the send
+    guard to keep the frontier behind the buffered batch."""
+
+    def __init__(self):
+        self._held = False
+        self._sent = False
+
+    def on_input(self, ctx, port, time, records):
+        if not self._held:
+            ctx.hold_capability(LATE_TIME)
+            self._held = True
+
+    def on_frontier(self, ctx):
+        if self._held and not self._sent and ctx.all_inputs_passed(LATE_TIME - 1):
+            self._sent = True
+            ctx.send(0, LATE_TIME, [("late", 1)])
+            # Without the send guard this release would leave the buffered
+            # send with no capability until the end-of-activation flush.
+            ctx.release_capability(LATE_TIME)
+
+
+def test_send_guard_covers_send_until_flush():
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    sim = df.cluster.sim
+    data, group = df.new_input("data")
+    out = data.unary("holder", lambda w: _HoldAndSendLate(), pact=Pipeline())
+    deliveries = []
+    sunk = out.sink(lambda w, t, recs: deliveries.append((sim.now, t, list(recs))))
+    # Probe downstream of the delivery: in-flight batches hold the
+    # *receiver's* frontier, so this is where backlog is visible.
+    probe = df.probe(sunk)
+    runtime = df.build()
+
+    passed_log = []
+    probe.on_advance(
+        lambda frontier: passed_log.append((sim.now, not frontier.less_equal(LATE_TIME)))
+    )
+
+    feed_epochs(runtime, group, [[("x", 1)]])
+    runtime.run_to_quiescence()
+
+    late = [(at, recs) for at, t, recs in deliveries if t == LATE_TIME]
+    assert late == [(late[0][0], [("late", 1)])], "late send must be delivered"
+    first_passed = min(at for at, passed in passed_log if passed)
+    # The frontier may pass LATE_TIME only once the delivered batch's CPU
+    # work has completed — never in the send/flush window.
+    assert first_passed > late[0][0]
+
+
+class _Null:
+    def on_input(self, ctx, port, time, records):
+        pass
+
+
+def test_progress_decrements_deferred_to_busy_until():
+    df = make_dataflow(num_workers=1, workers_per_process=1)
+    data, group = df.new_input("data")
+    out = data.unary("null", lambda w: _Null(), pact=Pipeline())
+    probe = df.probe(out)
+    runtime = df.build()
+    sim = runtime.sim
+
+    passed_at = []
+    probe.on_advance(
+        lambda frontier: (
+            passed_at.append(sim.now)
+            if not frontier.less_equal(0) and not passed_at
+            else None
+        )
+    )
+
+    n = 100
+    feed_epochs(runtime, group, [[("k", 1)] * n])
+    runtime.run_to_quiescence()
+
+    assert passed_at, "output frontier must eventually pass epoch 0"
+    # The decrement for the consumed batch lands at busy_until, so the
+    # frontier cannot pass epoch 0 before the batch's own CPU cost is paid.
+    min_work = FAST_COST.batch_overhead + n * FAST_COST.record_cost
+    assert passed_at[0] >= min_work
