@@ -1,0 +1,310 @@
+"""The chaos injector: schedules a fault plan against a running dataflow.
+
+The injector is the single authority on cluster membership (which processes
+are dead right now) and on link health.  It is wired into three places:
+
+* ``Cluster.send`` asks :meth:`ChaosInjector.drop_reason` before routing a
+  cross-process message (partitions and lossy links);
+* ``Link.transmit`` asks :meth:`ChaosInjector.link_degradation` for the
+  effective bandwidth factor and extra latency;
+* each ``WorkerRuntime`` asks :meth:`ChaosInjector.stalled_until` and
+  :meth:`ChaosInjector.cost_multiplier` at activation time.
+
+All hooks are pure functions of the (static) plan and the current simulated
+time, except lossy links (``0 < drop_prob < 1``), which consume the plan's
+private seeded RNG — the only source of randomness in the subsystem.
+
+Crash semantics: a crashed process's workers stop scheduling, drop every
+queued batch and arriving message *with progress compensation* (the in-flight
+count or capability each item holds is released), and release all held
+capabilities, so the surviving workers' frontiers advance past the dead ones
+instead of wedging.  The crash degrades the computation's output — exactly
+the failure model the recovery machinery is measured against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.chaos.plan import ANY_PROCESS, FaultPlan, LinkFault, ProcessCrash, WorkerStall
+from repro.runtime_events.events import (
+    TOPIC_FAULTS,
+    TOPIC_RECOVERY,
+    LinkFaultEnded,
+    LinkFaultStarted,
+    ProcessCrashed,
+    ProcessRestarted,
+    WorkerStallEnded,
+    WorkerStallStarted,
+)
+
+# Membership-change callback: (kind, process, workers) with kind in
+# {"crash", "restart"}.
+MembershipCallback = Callable[[str, int, tuple], None]
+
+
+class ChaosInjector:
+    """Schedules and enforces one :class:`FaultPlan` on one runtime."""
+
+    def __init__(self, runtime, plan: FaultPlan) -> None:
+        plan.validate(len(runtime.cluster.processes), runtime.num_workers)
+        self._runtime = runtime
+        self._plan = plan
+        self._rng = random.Random(plan.seed)
+        self._dead_processes: set[int] = set()
+        self._active_link_faults: list[LinkFault] = []
+        self._callbacks: list[MembershipCallback] = []
+        self.installed = False
+
+    # -- wiring ----------------------------------------------------------------
+
+    def install(self) -> None:
+        """Hook into the cluster/workers and schedule every fault event."""
+        if self.installed:
+            raise RuntimeError("chaos injector already installed")
+        self.installed = True
+        runtime = self._runtime
+        sim = runtime.sim
+        runtime.cluster.install_chaos(self)
+        for worker in runtime.workers:
+            worker.chaos = self
+        for crash in self._plan.crashes:
+            sim.schedule_at(crash.at_s, lambda c=crash: self._crash(c))
+            if crash.restart_after_s is not None:
+                sim.schedule_at(
+                    crash.at_s + crash.restart_after_s,
+                    lambda c=crash: self._restart(c),
+                )
+        for fault in self._plan.link_faults:
+            sim.schedule_at(fault.at_s, lambda f=fault: self._open_link_fault(f))
+        for stall in self._plan.stalls:
+            sim.schedule_at(stall.at_s, lambda s=stall: self._open_stall(s))
+
+    def on_membership_change(self, callback: MembershipCallback) -> None:
+        """Register for crash/restart notifications."""
+        self._callbacks.append(callback)
+
+    # -- membership view -------------------------------------------------------
+
+    def is_dead(self, worker: int) -> bool:
+        """Whether ``worker``'s process is currently crashed."""
+        return (
+            self._runtime.cluster.process_of(worker).index in self._dead_processes
+        )
+
+    def dead_workers(self) -> list[int]:
+        """Workers of currently crashed processes, ascending."""
+        out = []
+        for p in sorted(self._dead_processes):
+            out.extend(self._runtime.cluster.processes[p].worker_ids)
+        return sorted(out)
+
+    def live_workers(self) -> list[int]:
+        """Workers of currently live processes, ascending."""
+        dead = self._dead_processes
+        return [
+            w
+            for w in range(self._runtime.num_workers)
+            if self._runtime.cluster.process_of(w).index not in dead
+        ]
+
+    # -- network hooks ---------------------------------------------------------
+
+    def drop_reason(self, src_process: int, dst_process: int) -> Optional[str]:
+        """Why a message between these processes is lost right now, if it is."""
+        if src_process == dst_process:
+            return None
+        for fault in self._active_link_faults:
+            if fault.drop_prob <= 0.0:
+                continue
+            if not _matches(fault, src_process, dst_process):
+                continue
+            if fault.drop_prob >= 1.0:
+                return "partition"
+            if self._rng.random() < fault.drop_prob:
+                return "loss"
+        return None
+
+    def link_degradation(self, src_process: int, dst_process: int) -> tuple:
+        """(bandwidth factor, extra latency) for this link right now."""
+        factor = 1.0
+        extra = 0.0
+        for fault in self._active_link_faults:
+            if _matches(fault, src_process, dst_process):
+                factor *= fault.bandwidth_factor
+                extra += fault.extra_latency_s
+        return factor, extra
+
+    # -- worker hooks ----------------------------------------------------------
+
+    def stalled_until(self, worker: int) -> float:
+        """End of the latest hard-stall window covering ``worker`` now."""
+        now = self._runtime.sim.now
+        until = 0.0
+        for stall in self._plan.stalls:
+            if (
+                stall.worker == worker
+                and stall.slowdown == 0.0
+                and stall.at_s <= now < stall.at_s + stall.duration_s
+            ):
+                until = max(until, stall.at_s + stall.duration_s)
+        return until
+
+    def cost_multiplier(self, worker: int) -> float:
+        """Product of active slowdown factors for ``worker`` now."""
+        now = self._runtime.sim.now
+        multiplier = 1.0
+        for stall in self._plan.stalls:
+            if (
+                stall.worker == worker
+                and stall.slowdown > 0.0
+                and stall.at_s <= now < stall.at_s + stall.duration_s
+            ):
+                multiplier *= stall.slowdown
+        return multiplier
+
+    # -- fault events ----------------------------------------------------------
+
+    def _crash(self, crash: ProcessCrash) -> None:
+        runtime = self._runtime
+        process = runtime.cluster.processes[crash.process]
+        self._dead_processes.add(crash.process)
+        for wid in process.worker_ids:
+            worker = runtime.workers[wid]
+            worker.alive = False
+            worker.discard_pending_work()
+            worker.release_all_capabilities()
+        # The process's input handles die with it: their source capabilities
+        # are dropped so the cluster-wide input frontier can move on.
+        for group in runtime.dataflow._input_groups:
+            for wid in process.worker_ids:
+                group.handle(wid).close()
+        # Its heap is gone; in-queue network bytes drain off-host.
+        process.memory.state_bytes = 0.0
+        process.memory.recv_buffer_bytes = 0.0
+        trace = runtime.sim.trace
+        if trace.wants_faults:
+            trace.publish(
+                ProcessCrashed(
+                    process=crash.process,
+                    workers=tuple(process.worker_ids),
+                    at=runtime.sim.now,
+                )
+            )
+        for callback in list(self._callbacks):
+            callback("crash", crash.process, tuple(process.worker_ids))
+        runtime.mark_progress()
+
+    def _restart(self, crash: ProcessCrash) -> None:
+        runtime = self._runtime
+        process = runtime.cluster.processes[crash.process]
+        self._dead_processes.discard(crash.process)
+        for wid in process.worker_ids:
+            worker = runtime.workers[wid]
+            worker.reinstall_operators()
+            worker.alive = True
+        trace = runtime.sim.trace
+        if trace.wants_faults:
+            trace.publish(
+                ProcessRestarted(
+                    process=crash.process,
+                    workers=tuple(process.worker_ids),
+                    at=runtime.sim.now,
+                )
+            )
+        # Callbacks run after the workers are live so a recovery coordinator
+        # can reseed state immediately.
+        for callback in list(self._callbacks):
+            callback("restart", crash.process, tuple(process.worker_ids))
+        runtime.mark_progress()
+
+    def _open_link_fault(self, fault: LinkFault) -> None:
+        runtime = self._runtime
+        self._active_link_faults.append(fault)
+        until = fault.at_s + fault.duration_s
+        trace = runtime.sim.trace
+        if trace.wants_faults:
+            trace.publish(
+                LinkFaultStarted(
+                    src_process=fault.src_process,
+                    dst_process=fault.dst_process,
+                    drop_prob=fault.drop_prob,
+                    bandwidth_factor=fault.bandwidth_factor,
+                    extra_latency_s=fault.extra_latency_s,
+                    until=until,
+                    at=runtime.sim.now,
+                )
+            )
+        runtime.sim.schedule_at(until, lambda: self._close_link_fault(fault))
+
+    def _close_link_fault(self, fault: LinkFault) -> None:
+        self._active_link_faults.remove(fault)
+        trace = self._runtime.sim.trace
+        if trace.wants_faults:
+            trace.publish(
+                LinkFaultEnded(
+                    src_process=fault.src_process,
+                    dst_process=fault.dst_process,
+                    at=self._runtime.sim.now,
+                )
+            )
+
+    def _open_stall(self, stall: WorkerStall) -> None:
+        runtime = self._runtime
+        until = stall.at_s + stall.duration_s
+        trace = runtime.sim.trace
+        if trace.wants_faults:
+            trace.publish(
+                WorkerStallStarted(
+                    worker=stall.worker,
+                    slowdown=stall.slowdown,
+                    until=until,
+                    at=runtime.sim.now,
+                )
+            )
+        runtime.sim.schedule_at(until, lambda: self._close_stall(stall))
+
+    def _close_stall(self, stall: WorkerStall) -> None:
+        runtime = self._runtime
+        trace = runtime.sim.trace
+        if trace.wants_faults:
+            trace.publish(
+                WorkerStallEnded(worker=stall.worker, at=runtime.sim.now)
+            )
+        # Work may have piled up while the worker was frozen.
+        runtime.workers[stall.worker].activate()
+
+
+def _matches(fault: LinkFault, src_process: int, dst_process: int) -> bool:
+    return (
+        fault.src_process in (ANY_PROCESS, src_process)
+        and fault.dst_process in (ANY_PROCESS, dst_process)
+    )
+
+
+class FaultLog:
+    """Purely observational collector of ``faults``/``recovery`` events."""
+
+    def __init__(self, bus) -> None:
+        self.faults: list = []
+        self.recovery: list = []
+        self._unsubscribe = bus.subscribe(
+            self._on_event, topics=(TOPIC_FAULTS, TOPIC_RECOVERY)
+        )
+
+    def close(self) -> None:
+        """Detach from the bus."""
+        self._unsubscribe()
+
+    def _on_event(self, event) -> None:
+        if event.topic == TOPIC_FAULTS:
+            self.faults.append(event)
+        else:
+            self.recovery.append(event)
+
+    def count(self, event_type: type) -> int:
+        """Number of collected events of ``event_type``."""
+        return sum(
+            1 for e in self.faults if type(e) is event_type
+        ) + sum(1 for e in self.recovery if type(e) is event_type)

@@ -1,0 +1,192 @@
+"""Recovery: reconciling Megaphone state with cluster membership.
+
+Two cooperating pieces:
+
+* :class:`ConfigurationLedger` — the controller-side record of the intended
+  bin-to-worker assignment.  Every control step the resilient controller
+  sends (planned, retried, or recovery) is applied to the ledger, so it is
+  always the configuration the *control stream* converges to — which is what
+  crash reconciliation and restart reseeding must agree with.
+
+* :class:`RecoveryCoordinator` — restores Megaphone bin state around
+  membership changes.  On a crash it (via the controller's
+  ``on_recovery_step`` hook) installs the latest snapshot's state for the
+  orphaned bins into their new owners — the paper's §4.4 observation that
+  migration-grade snapshots "feed back into finer-grained fault-tolerance
+  mechanisms" made concrete.  On a restart it reseeds the returned workers'
+  bin stores and routing tables from the ledger, because a freshly
+  reinstalled F/S pair believes the initial configuration.
+
+Pending (post-dated) records in a snapshot are intentionally *not* restored
+on the crash path: their notification times may already lie behind the
+surviving frontier.  Recovery restores state, not in-flight work — bounded,
+observable loss is the fault model's documented trade.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Optional
+
+from repro.megaphone.bins import BinStore
+from repro.megaphone.control import BinnedConfiguration, ControlInst
+from repro.runtime_events.events import StateReinstalled
+
+
+class ConfigurationLedger:
+    """The intended bin assignment, updated with every control step."""
+
+    def __init__(self, initial: BinnedConfiguration) -> None:
+        self.initial = initial
+        self.current = initial
+        self.history: list[BinnedConfiguration] = [initial]
+
+    def apply(self, insts: list[ControlInst]) -> None:
+        """Advance the ledger past one control step."""
+        insts = list(insts)
+        if not insts:
+            return
+        self.current = self.current.apply(insts)
+        self.history.append(self.current)
+
+    def bins_of(self, worker: int) -> list[int]:
+        """Bins the current configuration places on ``worker``."""
+        return self.current.bins_of(worker)
+
+
+class RecoveryCoordinator:
+    """Reinstalls Megaphone state for crashed-and-reassigned bins.
+
+    ``snapshot_provider`` returns the most recent
+    :class:`~repro.megaphone.snapshot.OperatorSnapshot` (or ``None`` when no
+    checkpoint exists yet) — evaluated lazily at recovery time so a snapshot
+    captured mid-run is picked up.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        op,
+        ledger: ConfigurationLedger,
+        injector=None,
+        snapshot_provider: Optional[Callable[[], object]] = None,
+    ) -> None:
+        self._runtime = runtime
+        self._op = op
+        self._ledger = ledger
+        self._snapshot_provider = snapshot_provider
+        self.restored_bins = 0
+        self.recreated_stores = 0
+        if injector is not None:
+            injector.on_membership_change(self._on_membership)
+
+    # -- crash path (driven by the resilient controller) -----------------------
+
+    def on_recovery_step(self, result) -> None:
+        """Install snapshot state for a recovery step's retargeted bins.
+
+        ``result`` is the controller's :class:`StepResult` for the step that
+        reassigns orphaned bins to survivors.  Bins with no snapshot entry
+        start empty at the new owner (S recreates them on first use).
+        """
+        snapshot = self._snapshot()
+        if snapshot is None:
+            return
+        per_worker: dict[int, list] = {}
+        for inst in result.insts:
+            bin_snapshot = snapshot.bins.get(inst.bin)
+            if bin_snapshot is not None:
+                per_worker.setdefault(inst.worker, []).append(bin_snapshot)
+        for worker, bin_snapshots in sorted(per_worker.items()):
+            store = self._store_of(worker, seed=self._op.config.initial)
+            installed = 0
+            size = 0.0
+            for bin_snapshot in bin_snapshots:
+                if not store.has(bin_snapshot.bin_id):
+                    store.create(bin_snapshot.bin_id)
+                store.get(bin_snapshot.bin_id).state = copy.deepcopy(
+                    bin_snapshot.state
+                )
+                installed += 1
+                size += store.state_size(bin_snapshot.bin_id)
+            self.restored_bins += installed
+            self._trace_reinstall(worker, len(bin_snapshots), installed, size)
+
+    # -- restart path ----------------------------------------------------------
+
+    def _on_membership(self, kind: str, process: int, workers: tuple) -> None:
+        if kind != "restart":
+            return
+        snapshot = self._snapshot()
+        for worker in workers:
+            # The reinstalled F believes the initial configuration; hand it
+            # the assignment the control stream has converged to.
+            self._runtime.logic_of(worker, self._op.f_op).reset_routing(
+                self._ledger.current
+            )
+            # Fresh store seeded with the bins the ledger places here (the
+            # worker's ``shared`` dict was wiped by the reinstall).
+            assigned = self._ledger.bins_of(worker)
+            store = self._store_of(worker, seed=None)
+            restored = 0
+            size = 0.0
+            for bin_id in assigned:
+                if not store.has(bin_id):
+                    store.create(bin_id)
+                if snapshot is not None and bin_id in snapshot.bins:
+                    store.get(bin_id).state = copy.deepcopy(
+                        snapshot.bins[bin_id].state
+                    )
+                    restored += 1
+                    size += store.state_size(bin_id)
+            self.recreated_stores += 1
+            self.restored_bins += restored
+            self._trace_reinstall(worker, len(assigned), restored, size)
+        self._runtime.mark_progress()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _snapshot(self):
+        if self._snapshot_provider is None:
+            return None
+        return self._snapshot_provider()
+
+    def _store_of(
+        self, worker: int, seed: Optional[BinnedConfiguration]
+    ) -> BinStore:
+        """Get or create ``worker``'s bin store.
+
+        ``seed`` (when creating) decides which bins to pre-create, matching
+        ``MegaphoneConfig.store_for``'s lazy-initialization semantics.
+        """
+        config = self._op.config
+        shared = self._runtime.workers[worker].shared
+        key = f"megaphone:{config.name}"
+        store = shared.get(key)
+        if store is None:
+            store = BinStore(
+                config.num_bins,
+                config.state_factory,
+                config.state_size_fn,
+                bytes_per_key=self._runtime.cluster.cost.state_bytes_per_key,
+            )
+            if seed is not None:
+                for bin_id in seed.bins_of(worker):
+                    store.create(bin_id)
+            shared[key] = store
+        return store
+
+    def _trace_reinstall(
+        self, worker: int, bins: int, restored: int, size_bytes: float
+    ) -> None:
+        trace = self._runtime.sim.trace
+        if trace.wants_recovery:
+            trace.publish(
+                StateReinstalled(
+                    worker=worker,
+                    bins=bins,
+                    restored_bins=restored,
+                    size_bytes=size_bytes,
+                    at=self._runtime.sim.now,
+                )
+            )

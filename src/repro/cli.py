@@ -47,6 +47,41 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
 
 
+def _validate_common(parser: argparse.ArgumentParser, args) -> None:
+    """Reject nonsensical parameter combinations with a clear message.
+
+    All checks funnel through ``parser.error`` (usage + message, exit code
+    2) so a typo'd flag and an out-of-range value fail the same way.
+    """
+    if args.workers <= 0:
+        parser.error(f"--workers must be positive, got {args.workers}")
+    if args.workers_per_process <= 0:
+        parser.error(
+            f"--workers-per-process must be positive, got {args.workers_per_process}"
+        )
+    if args.bins <= 0:
+        parser.error(f"--bins must be positive, got {args.bins}")
+    if args.bins & (args.bins - 1) != 0:
+        parser.error(f"--bins must be a power of two, got {args.bins}")
+    if args.rate <= 0:
+        parser.error(f"--rate must be positive, got {args.rate}")
+    if args.duration <= 0:
+        parser.error(f"--duration must be positive, got {args.duration}")
+    if args.batch_size <= 0:
+        parser.error(f"--batch-size must be positive, got {args.batch_size}")
+    if args.granularity_ms <= 0:
+        parser.error(
+            f"--granularity-ms must be positive, got {args.granularity_ms}"
+        )
+    for at in args.migrate_at:
+        if not 0 < at < args.duration:
+            parser.error(
+                f"--migrate-at {at} is outside (0, {args.duration}): a "
+                "migration must start after the run begins and before the "
+                "input closes"
+            )
+
+
 def _config_from(args, **extra) -> ExperimentConfig:
     return ExperimentConfig(
         num_workers=args.workers,
@@ -161,6 +196,56 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run a fault-injection scenario against every migration strategy.
+
+    Prints one verdict row per strategy (the watchdog's classification of
+    the run) and exits non-zero if any strategy's frontier stalled — the
+    Completion guarantee is the pass/fail line.
+    """
+    from repro.chaos.experiment import run_chaos_matrix
+
+    cfg = _config_from(
+        args,
+        domain=int(args.domain),
+        bytes_per_key=args.bytes_per_key,
+        bandwidth_bytes_per_s=args.bandwidth,
+    )
+    results = run_chaos_matrix(
+        args.scenario,
+        cfg=cfg,
+        seed=args.chaos_seed,
+        restart_after_s=args.restart_after,
+        drop_prob=args.drop_prob,
+    )
+    rows = [
+        (
+            r.strategy,
+            r.verdict,
+            r.recoveries,
+            r.abandoned_steps,
+            r.dropped_messages,
+            r.restored_bins,
+        )
+        for r in results
+    ]
+    print_table(
+        f"chaos: {args.scenario} (seed {args.chaos_seed})",
+        ["strategy", "verdict", "recoveries", "abandoned", "drops", "restored"],
+        rows,
+    )
+    stalled = [r.strategy for r in results if not r.live]
+    if stalled:
+        print(f"\nFAIL: frontier stalled under {', '.join(stalled)}")
+        for r in results:
+            if not r.live:
+                for diagnosis in r.result.chaos_diagnoses[-1:]:
+                    print(diagnosis.describe())
+        return 1
+    print("\nall strategies drained (Completion holds under this plan)")
+    return 0
+
+
 def cmd_list(args) -> int:
     """List available workloads and strategies."""
     print("workloads: count (microbenchmark), nexmark (queries 1-8)")
@@ -203,6 +288,46 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--max-rows", type=int, default=16)
     trace.set_defaults(fn=cmd_trace, strategy="fluid")
 
+    chaos = sub.add_parser(
+        "chaos", help="fault-inject every strategy and report verdicts"
+    )
+    _common_args(chaos)
+    # Small two-process cluster with heavy state: faults land mid-migration.
+    chaos.set_defaults(
+        workers=4,
+        workers_per_process=2,
+        bins=16,
+        rate=20_000.0,
+        duration=6.0,
+        migrate_at=[2.0],
+        batch_size=4,
+    )
+    from repro.chaos.experiment import SCENARIOS
+
+    chaos.add_argument(
+        "--scenario", choices=SCENARIOS, default="crash-target",
+        help="which fault plan to inject (default: crash-target)",
+    )
+    chaos.add_argument("--domain", type=float, default=float(1 << 12))
+    chaos.add_argument("--bytes-per-key", type=float, default=2048.0)
+    chaos.add_argument(
+        "--bandwidth", type=float, default=4e6,
+        help="link bandwidth in bytes/s (low by default so steps take time)",
+    )
+    chaos.add_argument(
+        "--restart-after", type=float, default=None,
+        help="crash-restart: seconds until the crashed process rejoins",
+    )
+    chaos.add_argument(
+        "--drop-prob", type=float, default=0.3,
+        help="lossy: per-message drop probability",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the fault plan's RNG (lossy links only)",
+    )
+    chaos.set_defaults(fn=cmd_chaos)
+
     lst = sub.add_parser("list", help="list workloads and strategies")
     lst.set_defaults(fn=cmd_list)
     return parser
@@ -210,7 +335,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if hasattr(args, "workers"):
+        _validate_common(parser, args)
     return args.fn(args)
 
 

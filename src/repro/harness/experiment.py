@@ -14,13 +14,24 @@ import time as wallclock
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.chaos.inject import ChaosInjector, FaultLog
+from repro.chaos.plan import ChaosConfig
+from repro.chaos.recovery import ConfigurationLedger, RecoveryCoordinator
+from repro.chaos.watchdog import LivenessWatchdog, WatchdogConfig
 from repro.harness.latency import EpochLatencyRecorder, LatencyTimeline
 from repro.harness.openloop import OpenLoopSource
 from repro.harness.workloads import CountWorkload, count_fold
 from repro.megaphone.api import state_machine
 from repro.megaphone.control import BinnedConfiguration
-from repro.megaphone.controller import EpochTicker, MigrationController, MigrationResult
+from repro.megaphone.controller import (
+    EpochTicker,
+    MigrationController,
+    MigrationResult,
+    ResilientMigrationController,
+    RetryPolicy,
+)
 from repro.megaphone.migration import imbalanced_target, make_plan
+from repro.megaphone.snapshot import SnapshotCoordinator
 from repro.runtime_events.analyze import MigrationTrace
 from repro.runtime_events.events import MemorySampled
 from repro.sim.cost import CostModel
@@ -62,6 +73,9 @@ class ExperimentConfig:
     collect_trace: bool = False
     native: bool = False  # run the non-migrateable baseline instead
     seed: int = 1
+    # Fault injection.  None (the default) leaves every chaos hook unwired —
+    # the run is byte-identical to a build without the chaos subsystem.
+    chaos: Optional[ChaosConfig] = None
 
     def resolved_cost(self) -> CostModel:
         """The cost model, with the variant's per-record cost applied."""
@@ -86,6 +100,13 @@ class ExperimentResult:
     wall_seconds: float = 0.0
     # Present when the config asked for trace collection.
     migration_trace: Optional[MigrationTrace] = None
+    # Chaos outcome (None unless the config carried a ChaosConfig):
+    # verdict is the watchdog's "completed" / "recovered" / "stalled".
+    chaos_verdict: Optional[str] = None
+    chaos_recoveries: int = 0
+    chaos_diagnoses: list = field(default_factory=list)
+    abandoned_steps: int = 0
+    fault_log: Optional[FaultLog] = None
 
     def migration_window(self, index: int) -> tuple[float, float]:
         """(start, end) of migration ``index``, padded by one window."""
@@ -186,17 +207,82 @@ class MigrationExperiment:
             dilation=cfg.dilation,
         )
 
+        # -- fault injection (inert unless the config carries a ChaosConfig) --
+        chaos = cfg.chaos
+        injector = None
+        watchdog = None
+        ledger = None
+        coordinator = None
+        fault_log = None
+        snapshot_box: dict = {}
         controllers: list[MigrationController] = []
+        if chaos is not None:
+            fault_log = FaultLog(sim.trace)
+            injector = ChaosInjector(runtime, chaos.plan)
+            injector.install()
+            if op is not None:
+                op.config.recovery_mode = True
+                ledger = ConfigurationLedger(op.config.initial)
+                coordinator = RecoveryCoordinator(
+                    runtime,
+                    op,
+                    ledger,
+                    injector=injector,
+                    snapshot_provider=lambda: snapshot_box.get("snapshot"),
+                )
+                if chaos.snapshot_at_s is not None:
+                    # Capture a consistent cut at the epoch corresponding to
+                    # the requested simulated time (EpochTicker's mapping).
+                    snap_epoch = (
+                        int(round(chaos.snapshot_at_s * 1000 / cfg.granularity_ms))
+                        * cfg.granularity_ms
+                        * cfg.dilation
+                    )
+                    SnapshotCoordinator(
+                        runtime,
+                        op,
+                        probe,
+                        snap_epoch,
+                        on_complete=lambda s: snapshot_box.update(snapshot=s),
+                    )
+            watchdog = LivenessWatchdog(
+                runtime,
+                probe,
+                config=chaos.watchdog
+                if chaos.watchdog is not None
+                else WatchdogConfig(),
+                injector=injector,
+                on_stall=lambda _diag: [c.nudge() for c in resilient],
+            )
+            watchdog.start()
+
+        resilient: list[ResilientMigrationController] = []
         if op is not None and cfg.migrate_at_s:
             initial = op.config.initial
             current = initial
             for i, at_s in enumerate(cfg.migrate_at_s):
                 target = imbalanced_target(initial) if i % 2 == 0 else initial
                 plan = make_plan(cfg.strategy, current, target, cfg.batch_size)
-                controller = MigrationController(
-                    runtime, control_group, ticker, probe, plan,
-                    gap_s=cfg.gap_s, pace_s=cfg.pace_s,
-                )
+                if chaos is not None:
+                    controller = ResilientMigrationController(
+                        runtime, control_group, ticker, probe, plan,
+                        retry=chaos.retry
+                        if chaos.retry is not None
+                        else RetryPolicy(),
+                        injector=injector,
+                        ledger=ledger,
+                        on_recovery_step=coordinator.on_recovery_step
+                        if coordinator is not None
+                        else None,
+                        reconcile=(i == 0),
+                        gap_s=cfg.gap_s, pace_s=cfg.pace_s,
+                    )
+                    resilient.append(controller)
+                else:
+                    controller = MigrationController(
+                        runtime, control_group, ticker, probe, plan,
+                        gap_s=cfg.gap_s, pace_s=cfg.pace_s,
+                    )
                 controller.start_at(at_s)
                 controllers.append(controller)
                 current = target
@@ -206,7 +292,9 @@ class MigrationExperiment:
                 sim.trace, len(cluster.processes)
             )
             memory_timelines = memory_recorder.timelines
-            self._schedule_memory_sampler(runtime, cluster, state_bytes_fn)
+            self._schedule_memory_sampler(
+                runtime, cluster, state_bytes_fn, injector
+            )
         else:
             memory_timelines = [
                 MemoryTimeline(process=p.index) for p in cluster.processes
@@ -218,13 +306,21 @@ class MigrationExperiment:
         runtime.run(until=cfg.duration_s + 1.0)
         guard = 0
         while any(not c.done for c in controllers):
+            if watchdog is not None and watchdog.failed:
+                # The watchdog gave up: stop driving and report the stall
+                # (verdict + diagnosis) instead of spinning.
+                break
             runtime.sim.run(max_events=100_000)
             guard += 1
             if guard > 10_000:
+                if chaos is not None:
+                    break
                 raise RuntimeError("migration did not complete; dataflow stalled")
         ticker.stop()
         runtime.run_to_quiescence()
 
+        if fault_log is not None:
+            fault_log.close()
         result = ExperimentResult(
             config=cfg,
             timeline=timeline,
@@ -235,9 +331,18 @@ class MigrationExperiment:
             wall_seconds=wallclock.perf_counter() - started,
             migration_trace=migration_trace,
         )
+        if watchdog is not None:
+            result.chaos_verdict = watchdog.verdict
+            result.chaos_recoveries = watchdog.recoveries
+            result.chaos_diagnoses = list(watchdog.diagnoses)
+        if chaos is not None:
+            result.abandoned_steps = sum(len(c.abandoned) for c in resilient)
+            result.fault_log = fault_log
         return result
 
-    def _schedule_memory_sampler(self, runtime, cluster, state_bytes_fn) -> None:
+    def _schedule_memory_sampler(
+        self, runtime, cluster, state_bytes_fn, injector=None
+    ) -> None:
         """Publish a ``MemorySampled`` event per process every sampling tick.
 
         The sampler is part of the simulation (it refreshes modeled state
@@ -250,7 +355,10 @@ class MigrationExperiment:
 
         def sample() -> None:
             for process in cluster.processes:
-                if state_bytes_fn is not None:
+                dead = injector is not None and injector.is_dead(
+                    process.worker_ids[0]
+                )
+                if state_bytes_fn is not None and not dead:
                     state = sum(state_bytes_fn(w) for w in process.worker_ids)
                     process.memory.state_bytes = state
                 trace.publish(

@@ -75,12 +75,21 @@ class OpenLoopSource:
             self._carry += per_tick_exact
             count = int(self._carry)
             self._carry -= count
-            handles = self.group.handles()
-            per_worker = count // len(handles)
-            extra = count % len(handles)
+            # A crashed process closes its workers' input handles; the load
+            # keeps flowing through the survivors (open-loop means the
+            # offered rate does not drop because part of the cluster did).
+            open_handles = [
+                (w, handle)
+                for w, handle in enumerate(self.group.handles())
+                if handle.epoch is not None
+            ]
+            if not open_handles:
+                return
+            per_worker = count // len(open_handles)
+            extra = count % len(open_handles)
             total = 0
-            for w, handle in enumerate(handles):
-                n = per_worker + (1 if w < extra else 0)
+            for i, (w, handle) in enumerate(open_handles):
+                n = per_worker + (1 if i < extra else 0)
                 if n > 0:
                     records = self.generator(w, epoch_ms, n)
                     handle.send(epoch_ms, records)

@@ -10,6 +10,10 @@ or Dhalion could supply the stream).  This module provides:
   completion through a probe on the S output frontier, optionally waits a
   drain gap, then issues the next step (paper §3.3's "await the migration's
   completion before choosing the next");
+* ``ResilientMigrationController`` — the same, plus per-step timeouts with
+  retry and exponential backoff, and crash-driven reconfiguration: crashed
+  workers are excluded from targets and their orphaned bins are reassigned
+  to survivors (the recovery half of the chaos subsystem);
 * ``StepResult`` — per-step issue/completion bookkeeping used by the
   benchmarks to report migration duration.
 """
@@ -19,8 +23,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.megaphone.control import ControlInst
 from repro.megaphone.migration import MigrationPlan
-from repro.runtime_events.events import MigrationStepCompleted, MigrationStepIssued
+from repro.runtime_events.events import (
+    MigrationStepAbandoned,
+    MigrationStepCompleted,
+    MigrationStepIssued,
+    MigrationStepRetried,
+    MigrationStepTimedOut,
+    WorkerExcluded,
+)
 from repro.timely.dataflow import InputGroup, Runtime
 from repro.timely.timestamp import Timestamp
 
@@ -79,12 +91,23 @@ class EpochTicker:
 
 @dataclass
 class StepResult:
-    """Timing of one reconfiguration step."""
+    """Timing of one reconfiguration step.
+
+    ``insts``/``attempts``/``abandoned`` feed the resilient controller: the
+    instructions are kept so a timed-out step can be re-issued, ``time`` is
+    rewritten to the retry's control timestamp, and ``abandoned`` marks a
+    step that exhausted its retry budget.  Instances are compared by
+    identity (dataclass equality is unsafe as a membership test here: two
+    retries of one step may be field-identical).
+    """
 
     time: Timestamp
     moves: int
     issued_at: float
     completed_at: Optional[float] = None
+    insts: tuple = ()
+    attempts: int = 1
+    abandoned: bool = False
 
     @property
     def duration(self) -> Optional[float]:
@@ -151,6 +174,7 @@ class MigrationController:
         self._on_done = on_done
         self._next_step = 0
         self._awaiting: list[StepResult] = []
+        self._finished = False
         self.result = MigrationResult(strategy=plan.strategy)
         probe.on_advance(self._check_progress)
 
@@ -172,25 +196,45 @@ class MigrationController:
         if not step.insts:
             self._issue_next()
             return
-        handle = self._group.handle(0)
-        if handle.epoch is None:
-            raise RuntimeError("control input closed while a migration is pending")
-        time = handle.epoch
-        handle.send(time, list(step.insts))
-        now = self._runtime.sim.now
-        trace = self._runtime.sim.trace
-        if trace.wants_migration:
-            trace.publish(
-                MigrationStepIssued(time=time, moves=len(step.insts), at=now)
-            )
-        self._awaiting.append(
-            StepResult(time=time, moves=len(step.insts), issued_at=now)
-        )
-        self.result.steps.append(self._awaiting[-1])
+        self._issue(list(step.insts))
         if self._pace_s is not None:
             self._runtime.sim.schedule(self._pace_s, self._issue_next)
         # The frontier may conceivably already be past; check synchronously.
         self._check_progress(None)
+
+    # -- issue pipeline (hooks for the resilient subclass) -------------------
+
+    def _control_handle(self):
+        """The input handle control records are sent through."""
+        return self._group.handle(0)
+
+    def _prepare_insts(self, insts: list) -> list:
+        """Final say over a step's instructions just before sending."""
+        return list(insts)
+
+    def _after_issue(self, result: StepResult) -> None:
+        """Called once per issued step (the subclass arms its timeout here)."""
+
+    def _issue(self, insts: list) -> StepResult:
+        handle = self._control_handle()
+        if handle is None or handle.epoch is None:
+            raise RuntimeError("control input closed while a migration is pending")
+        insts = self._prepare_insts(insts)
+        time = handle.epoch
+        handle.send(time, list(insts))
+        now = self._runtime.sim.now
+        trace = self._runtime.sim.trace
+        if trace.wants_migration:
+            trace.publish(
+                MigrationStepIssued(time=time, moves=len(insts), at=now)
+            )
+        result = StepResult(
+            time=time, moves=len(insts), issued_at=now, insts=tuple(insts)
+        )
+        self._awaiting.append(result)
+        self.result.steps.append(result)
+        self._after_issue(result)
+        return result
 
     def _check_progress(self, _frontier) -> None:
         completed_any = False
@@ -207,5 +251,274 @@ class MigrationController:
             self._runtime.sim.schedule(self._gap_s, self._issue_next)
 
     def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
         if self._on_done is not None:
             self._on_done(self.result)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-step deadline discipline for the resilient controller.
+
+    Attempt ``k`` (1-based) of a step must complete within
+    ``timeout_s * backoff**(k-1)`` seconds of its (re-)issue; after
+    ``max_attempts`` the step is abandoned and reported.
+    """
+
+    timeout_s: float = 1.0
+    backoff: float = 2.0
+    max_attempts: int = 5
+
+    def deadline_for(self, attempt: int) -> float:
+        """Seconds granted to attempt ``attempt`` (1-based)."""
+        return self.timeout_s * (self.backoff ** (attempt - 1))
+
+
+class ResilientMigrationController(MigrationController):
+    """A migration controller that survives injected faults.
+
+    Three mechanisms on top of the base controller:
+
+    * **Timeout + retry with backoff** — every issued step is given a
+      deadline; a step whose timestamp has not passed the probe by then is
+      re-issued at the current control epoch with the same instructions.
+      Re-issuing is idempotent: F diffs each instruction against its
+      current owner, so already-applied moves produce no new shipments.
+      Steps that exhaust ``retry.max_attempts`` are abandoned (and show up
+      in ``abandoned``).
+    * **Worker exclusion** — instructions targeting a dead worker are
+      retargeted (at issue *and* retry time) onto the live worker owning
+      the fewest bins in the configuration ledger, lowest id on ties.
+    * **Crash reconciliation** — on a crash notification, bins the ledger
+      places on dead workers are reassigned to survivors through an extra
+      recovery step, so the key space stays fully owned; the
+      ``on_recovery_step`` callback lets a recovery coordinator reinstall
+      snapshot state into the new owners.
+
+    ``injector`` is the chaos injector (membership oracle); ``ledger`` a
+    :class:`~repro.chaos.recovery.ConfigurationLedger` tracking the intended
+    assignment.  Both are optional: without them the controller degrades to
+    pure timeout/retry (useful under partitions and stalls).
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        control_group: InputGroup,
+        ticker: EpochTicker,
+        probe,
+        plan: MigrationPlan,
+        retry: Optional[RetryPolicy] = None,
+        injector=None,
+        ledger=None,
+        on_recovery_step: Optional[Callable[[StepResult], None]] = None,
+        reconcile: bool = True,
+        **kwargs,
+    ) -> None:
+        super().__init__(runtime, control_group, ticker, probe, plan, **kwargs)
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._injector = injector
+        self._ledger = ledger
+        self._on_recovery_step = on_recovery_step
+        # Timeout events keyed by id(StepResult): StepResult's generated
+        # equality makes it unusable as a dict key or membership probe.
+        self._timeout_events: dict[int, object] = {}
+        self._pending_recovery: list[list[ControlInst]] = []
+        self.abandoned: list[StepResult] = []
+        # With several controllers sharing one ledger (one per scheduled
+        # migration), exactly one should reconcile crashes — otherwise each
+        # would issue its own recovery step for the same orphaned bins.
+        if injector is not None and reconcile:
+            injector.on_membership_change(self._on_membership)
+
+    @property
+    def done(self) -> bool:
+        """Base completion plus no recovery steps waiting to be issued."""
+        return super().done and not self._pending_recovery
+
+    # -- issue-pipeline overrides --------------------------------------------
+
+    def _control_handle(self):
+        if self._injector is None:
+            return self._group.handle(0)
+        for worker in self._injector.live_workers():
+            handle = self._group.handle(worker)
+            if handle.epoch is not None:
+                return handle
+        return None
+
+    def _prepare_insts(self, insts: list) -> list:
+        out = list(insts)
+        if self._injector is not None:
+            dead = set(self._injector.dead_workers())
+            if dead and any(inst.worker in dead for inst in out):
+                counts = self._live_bin_counts()
+                retargeted = []
+                for inst in out:
+                    if inst.worker in dead:
+                        dst = min(counts, key=lambda w: (counts[w], w))
+                        counts[dst] += 1
+                        retargeted.append(ControlInst(bin=inst.bin, worker=dst))
+                    else:
+                        retargeted.append(inst)
+                out = retargeted
+        if self._ledger is not None:
+            self._ledger.apply(out)
+        return out
+
+    def _after_issue(self, result: StepResult) -> None:
+        self._arm_timeout(result)
+
+    def _live_bin_counts(self) -> dict[int, float]:
+        live = self._injector.live_workers()
+        if self._ledger is not None:
+            return {w: len(self._ledger.current.bins_of(w)) for w in live}
+        return {w: 0 for w in live}
+
+    # -- timeouts and retries -------------------------------------------------
+
+    def _arm_timeout(self, result: StepResult) -> None:
+        delay = self._retry.deadline_for(result.attempts)
+        event = self._runtime.sim.schedule(
+            delay, lambda: self._on_timeout(result)
+        )
+        self._timeout_events[id(result)] = event
+
+    def _cancel_timeout(self, result: StepResult) -> None:
+        event = self._timeout_events.pop(id(result), None)
+        if event is not None:
+            event.cancel()
+
+    def _on_timeout(self, result: StepResult) -> None:
+        self._timeout_events.pop(id(result), None)
+        if not any(step is result for step in self._awaiting):
+            return
+        now = self._runtime.sim.now
+        trace = self._runtime.sim.trace
+        if trace.wants_recovery:
+            trace.publish(
+                MigrationStepTimedOut(
+                    time=result.time,
+                    attempt=result.attempts,
+                    timeout_s=self._retry.deadline_for(result.attempts),
+                    at=now,
+                )
+            )
+        handle = self._control_handle()
+        if result.attempts >= self._retry.max_attempts or handle is None or (
+            handle.epoch is None
+        ):
+            self._abandon(result, now)
+            return
+        old_time = result.time
+        insts = self._prepare_insts(list(result.insts))
+        result.attempts += 1
+        result.insts = tuple(insts)
+        result.time = handle.epoch
+        handle.send(result.time, list(insts))
+        if trace.wants_recovery:
+            trace.publish(
+                MigrationStepRetried(
+                    time=old_time,
+                    retry_time=result.time,
+                    moves=len(insts),
+                    attempt=result.attempts,
+                    at=now,
+                )
+            )
+        self._arm_timeout(result)
+
+    def _abandon(self, result: StepResult, now: float) -> None:
+        result.abandoned = True
+        self._awaiting[:] = [s for s in self._awaiting if s is not result]
+        self.abandoned.append(result)
+        trace = self._runtime.sim.trace
+        if trace.wants_recovery:
+            trace.publish(
+                MigrationStepAbandoned(
+                    time=result.time, attempts=result.attempts, at=now
+                )
+            )
+        if self._pace_s is None and not self._awaiting:
+            self._runtime.sim.schedule(self._gap_s, self._issue_next)
+
+    def nudge(self) -> None:
+        """Force an immediate retry of every awaiting step (watchdog hook)."""
+        for step in list(self._awaiting):
+            self._cancel_timeout(step)
+            self._on_timeout(step)
+
+    # -- crash reconciliation --------------------------------------------------
+
+    def _on_membership(self, kind: str, process: int, workers: tuple) -> None:
+        if kind != "crash":
+            # A restart cannot regress frontiers; nothing to reconcile.
+            return
+        now = self._runtime.sim.now
+        trace = self._runtime.sim.trace
+        orphaned: list[int] = []
+        per_worker: dict[int, int] = {}
+        if self._ledger is not None:
+            for worker in workers:
+                bins = self._ledger.current.bins_of(worker)
+                per_worker[worker] = len(bins)
+                orphaned.extend(bins)
+        if trace.wants_recovery:
+            for worker in workers:
+                trace.publish(
+                    WorkerExcluded(
+                        worker=worker,
+                        orphaned_bins=per_worker.get(worker, 0),
+                        at=now,
+                    )
+                )
+        if not orphaned:
+            return
+        counts = self._live_bin_counts()
+        insts = []
+        for bin_id in sorted(orphaned):
+            dst = min(counts, key=lambda w: (counts[w], w))
+            counts[dst] += 1
+            insts.append(ControlInst(bin=bin_id, worker=dst))
+        self._pending_recovery.append(insts)
+        self._runtime.sim.schedule(0.0, self._issue_recovery)
+
+    def _issue_recovery(self) -> None:
+        while self._pending_recovery:
+            insts = self._pending_recovery.pop(0)
+            handle = self._control_handle()
+            if handle is None or handle.epoch is None:
+                # Control stream gone: recovery is impossible; the watchdog
+                # will diagnose the stall if one follows.
+                return
+            result = self._issue(insts)
+            if self._on_recovery_step is not None:
+                self._on_recovery_step(result)
+        self._check_progress(None)
+
+    # -- completion ------------------------------------------------------------
+
+    def _check_progress(self, _frontier) -> None:
+        completed_any = False
+        now = self._runtime.sim.now
+        trace = self._runtime.sim.trace
+        # Scan every awaiting step, not just the head: retried steps carry
+        # rewritten (later) timestamps, so completion order is not issue
+        # order.
+        remaining: list[StepResult] = []
+        for step in self._awaiting:
+            if self._probe.passed(step.time):
+                step.completed_at = now
+                self._cancel_timeout(step)
+                if trace.wants_migration:
+                    trace.publish(
+                        MigrationStepCompleted(time=step.time, at=now)
+                    )
+                completed_any = True
+            else:
+                remaining.append(step)
+        self._awaiting[:] = remaining
+        if completed_any and self._pace_s is None and not self._awaiting:
+            self._runtime.sim.schedule(self._gap_s, self._issue_next)

@@ -30,6 +30,7 @@ from typing import Callable, Optional
 from repro.megaphone.bins import Bin, BinStore
 from repro.runtime_events.events import (
     BinMigrationPlanned,
+    BinRecreated,
     BinStateExtracted,
     BinStateInstalled,
 )
@@ -137,6 +138,16 @@ class _FLogic:
 
     def _store(self, ctx) -> BinStore:
         return self._config.store_for(ctx)
+
+    def reset_routing(self, config: BinnedConfiguration) -> None:
+        """Replace the routing table wholesale (restart recovery).
+
+        A freshly reinstalled F believes the *initial* configuration; the
+        recovery coordinator hands it the ledger's current assignment so it
+        routes like the surviving workers instead of resurrecting stale
+        ownership.
+        """
+        self._table = RoutingTable(config)
 
     def _route_batch(self, ctx, time: Timestamp, port_tag: int, records: list) -> None:
         config = self._config
@@ -252,6 +263,12 @@ class _FLogic:
         memory = ctx.memory
         trace = ctx.trace
         for bin_id, _src, dst in moves:
+            if self._config.recovery_mode and not store.has(bin_id):
+                # The bin is not here to extract — it died with a crashed
+                # process, or a retried control step repeats a move this
+                # worker already shipped.  The destination's S will
+                # recreate it empty on first use.
+                continue
             size = store.state_size(bin_id)
             bin_ = store.take(bin_id)
             serialize_s = cost.serialize_cost(size)
@@ -344,6 +361,31 @@ class _SLogic:
             bins.add(bin_id)
             ctx.notify_at(time)
 
+    def _bin_for(self, ctx, store: BinStore, time: Timestamp, bin_id: int) -> Bin:
+        """Fetch a bin for application, recreating it under recovery.
+
+        Outside recovery mode a missing bin is a routing bug and raises.
+        Under recovery a miss means the bin's state died with a crashed
+        process and a recovery control step retargeted it here before any
+        replacement state could be shipped: create it empty (bounded,
+        observable data loss — the documented fault-model trade) so the
+        stream keeps its Completion guarantee.
+        """
+        if self._config.recovery_mode and not store.has(bin_id):
+            store.create(bin_id)
+            trace = ctx.trace
+            if trace.wants_recovery:
+                trace.publish(
+                    BinRecreated(
+                        name=self._config.name,
+                        bin=bin_id,
+                        worker=ctx.worker_id,
+                        time=time,
+                        at=ctx.now,
+                    )
+                )
+        return store.get(bin_id)
+
     def on_notify(self, ctx, time: Timestamp) -> None:
         store = self._store(ctx)
         groups: dict[int, list] = {}
@@ -366,7 +408,8 @@ class _SLogic:
             entries = groups[bin_id]
             total += len(entries)
             app = ApplicationContext(
-                time, store.get(bin_id), entries, worker=ctx.worker_id
+                time, self._bin_for(ctx, store, time, bin_id), entries,
+                worker=ctx.worker_id,
             )
             applier(app)
             outputs.extend(app.outputs)
@@ -400,6 +443,11 @@ class MegaphoneConfig:
         self.state_size_fn = state_size_fn
         self.probe = MigrationProbe()
         self.s_op: int = -1  # wired by the builder
+        # When True (set by fault-injection harnesses) the pair tolerates
+        # missing bins: S recreates them empty on first use and F skips
+        # extraction of bins it no longer holds.  False keeps the strict
+        # fail-loud behavior of fault-free runs.
+        self.recovery_mode = False
         self._route_cost: Optional[float] = None
 
     def bin_fn(self, key_int: int) -> int:

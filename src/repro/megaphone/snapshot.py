@@ -15,6 +15,7 @@ through :func:`restore_into`.
 from __future__ import annotations
 
 import copy
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -116,6 +117,52 @@ class SnapshotCoordinator:
         self.snapshot = snapshot
         if self._on_complete is not None:
             self._on_complete(snapshot)
+
+
+def snapshot_to_bytes(snapshot: OperatorSnapshot) -> bytes:
+    """Serialize a snapshot to a durable byte string.
+
+    This is the externalized form a real deployment would write to stable
+    storage; :func:`snapshot_from_bytes` round-trips it losslessly (the
+    property the snapshot test-suite checks, including empty bins).
+    """
+    payload = {
+        "name": snapshot.name,
+        "time": snapshot.time,
+        "captured_at": snapshot.captured_at,
+        "frontier_at_capture": tuple(snapshot.frontier_at_capture),
+        "bins": [
+            {
+                "bin_id": b.bin_id,
+                "worker": b.worker,
+                "state": b.state,
+                "pending": list(b.pending),
+                "size_bytes": b.size_bytes,
+            }
+            for _, b in sorted(snapshot.bins.items())
+        ],
+    }
+    return pickle.dumps(payload, protocol=4)
+
+
+def snapshot_from_bytes(data: bytes) -> OperatorSnapshot:
+    """Rebuild an :class:`OperatorSnapshot` from :func:`snapshot_to_bytes`."""
+    payload = pickle.loads(data)
+    snapshot = OperatorSnapshot(
+        name=payload["name"],
+        time=payload["time"],
+        captured_at=payload["captured_at"],
+        frontier_at_capture=tuple(payload["frontier_at_capture"]),
+    )
+    for raw in payload["bins"]:
+        snapshot.bins[raw["bin_id"]] = BinSnapshot(
+            bin_id=raw["bin_id"],
+            worker=raw["worker"],
+            state=raw["state"],
+            pending=list(raw["pending"]),
+            size_bytes=raw["size_bytes"],
+        )
+    return snapshot
 
 
 def _peek_pending(bin_: Bin) -> list:

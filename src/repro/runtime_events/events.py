@@ -16,6 +16,10 @@ Topics group events by the layer that emits them:
 ``capability``  capabilities held and dropped by operator contexts
 ``migration``   Megaphone's migration lifecycle, bin by bin
 ``memory``      periodic per-process RSS samples
+``faults``      injected faults (crashes, partitions, stalls, drops) and
+                accounting-guard warnings
+``recovery``    the recovery machinery: step timeouts/retries, worker
+                exclusion, state reinstallation, watchdog verdicts
 """
 
 from __future__ import annotations
@@ -31,6 +35,8 @@ TOPIC_FRONTIER = "frontier"
 TOPIC_CAPABILITY = "capability"
 TOPIC_MIGRATION = "migration"
 TOPIC_MEMORY = "memory"
+TOPIC_FAULTS = "faults"
+TOPIC_RECOVERY = "recovery"
 
 TOPICS = (
     TOPIC_ACTIVATION,
@@ -41,6 +47,8 @@ TOPICS = (
     TOPIC_CAPABILITY,
     TOPIC_MIGRATION,
     TOPIC_MEMORY,
+    TOPIC_FAULTS,
+    TOPIC_RECOVERY,
 )
 
 
@@ -245,3 +253,196 @@ class MemorySampled:
     process: int
     rss_bytes: float
     at: float
+
+
+# -- injected faults ------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessCrashed:
+    """A simulated process failed; its workers stopped and lost their state."""
+
+    topic: ClassVar[str] = TOPIC_FAULTS
+    process: int
+    workers: tuple
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessRestarted:
+    """A crashed process rejoined the cluster with empty workers."""
+
+    topic: ClassVar[str] = TOPIC_FAULTS
+    process: int
+    workers: tuple
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFaultStarted:
+    """A link fault window opened (partition, loss, or degradation).
+
+    ``src_process``/``dst_process`` of -1 mean "every process" on that side.
+    ``drop_prob`` of 1.0 is a full partition.
+    """
+
+    topic: ClassVar[str] = TOPIC_FAULTS
+    src_process: int
+    dst_process: int
+    drop_prob: float
+    bandwidth_factor: float
+    extra_latency_s: float
+    until: float
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFaultEnded:
+    """A link fault window closed; the link carries traffic normally again."""
+
+    topic: ClassVar[str] = TOPIC_FAULTS
+    src_process: int
+    dst_process: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerStallStarted:
+    """A worker entered a stall (or slowdown) window."""
+
+    topic: ClassVar[str] = TOPIC_FAULTS
+    worker: int
+    slowdown: float
+    until: float
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerStallEnded:
+    """A worker's stall window closed; it schedules normally again."""
+
+    topic: ClassVar[str] = TOPIC_FAULTS
+    worker: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class MessageDropped:
+    """A message was lost (crashed destination, partition, or lossy link).
+
+    The progress accounting for the lost batch is compensated at drop time,
+    so the loss degrades the computation's output instead of wedging its
+    frontiers.
+    """
+
+    topic: ClassVar[str] = TOPIC_FAULTS
+    src_worker: int
+    dst_worker: int
+    size_bytes: float
+    reason: str
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class AccountingClamped:
+    """A byte pool went negative and was clamped back to zero.
+
+    This is the traced warning of the accounting guards: it indicates a
+    fault-path bookkeeping bug (double release, missed charge) that would
+    otherwise silently corrupt memory and queue metrics.
+    """
+
+    topic: ClassVar[str] = TOPIC_FAULTS
+    owner: str
+    pool: str
+    value: float
+    at: float
+
+
+# -- recovery machinery ---------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationStepTimedOut:
+    """An issued reconfiguration step missed its completion deadline."""
+
+    topic: ClassVar[str] = TOPIC_RECOVERY
+    time: object
+    attempt: int
+    timeout_s: float
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationStepRetried:
+    """A timed-out step was re-issued (possibly retargeted) at a new time."""
+
+    topic: ClassVar[str] = TOPIC_RECOVERY
+    time: object
+    retry_time: object
+    moves: int
+    attempt: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationStepAbandoned:
+    """A step exhausted its retry budget and was given up on."""
+
+    topic: ClassVar[str] = TOPIC_RECOVERY
+    time: object
+    attempts: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerExcluded:
+    """The controller removed a crashed worker from the target configuration."""
+
+    topic: ClassVar[str] = TOPIC_RECOVERY
+    worker: int
+    orphaned_bins: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class StateReinstalled:
+    """Recovery placed bins (snapshot-restored or empty) onto a worker."""
+
+    topic: ClassVar[str] = TOPIC_RECOVERY
+    worker: int
+    bins: int
+    restored_bins: int
+    size_bytes: float
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class BinRecreated:
+    """S materialized an empty bin whose state was lost to a fault."""
+
+    topic: ClassVar[str] = TOPIC_RECOVERY
+    name: str
+    bin: int
+    worker: int
+    time: object
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class WatchdogStalled:
+    """The liveness watchdog saw no output-frontier movement for too long."""
+
+    topic: ClassVar[str] = TOPIC_RECOVERY
+    at: float
+    last_advance_at: float
+    frontier: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class WatchdogRecovered:
+    """The output frontier moved again after a diagnosed stall."""
+
+    topic: ClassVar[str] = TOPIC_RECOVERY
+    at: float
+    stalled_for_s: float

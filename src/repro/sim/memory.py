@@ -16,11 +16,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.runtime_events.events import TOPIC_MEMORY
+from repro.runtime_events.events import TOPIC_MEMORY, AccountingClamped
 
 
 class MemoryModel:
-    """Per-process byte accounting with a high-water mark."""
+    """Per-process byte accounting with a high-water mark.
+
+    Every pool is guarded against going negative: a negative balance means
+    a double release or a missed charge (fault paths are the usual
+    culprits), so the model clamps back to zero and — when tracing is
+    attached via :meth:`attach_trace` — publishes an
+    :class:`~repro.runtime_events.events.AccountingClamped` warning instead
+    of silently corrupting RSS metrics.
+    """
 
     def __init__(self, base_bytes: float = 0.0) -> None:
         self.base_bytes = base_bytes
@@ -29,6 +37,29 @@ class MemoryModel:
         self.recv_buffer_bytes = 0.0
         self.retained_bytes = 0.0
         self.peak_bytes = base_bytes
+        self._sim = None
+        self._owner = ""
+
+    def attach_trace(self, sim, owner: str) -> None:
+        """Route clamp warnings through ``sim``'s trace bus as ``owner``."""
+        self._sim = sim
+        self._owner = owner
+
+    def _clamp(self, pool: str, value: float) -> float:
+        if value >= 0.0:
+            return value
+        if self._sim is not None and value < -1e-6:
+            trace = self._sim.trace
+            if trace.wants_faults:
+                trace.publish(
+                    AccountingClamped(
+                        owner=self._owner,
+                        pool=pool,
+                        value=value,
+                        at=self._sim.now,
+                    )
+                )
+        return 0.0
 
     @property
     def rss_bytes(self) -> float:
@@ -47,17 +78,21 @@ class MemoryModel:
 
     def add_state(self, delta: float) -> None:
         """Adjust live operator-state bytes."""
-        self.state_bytes += delta
+        self.state_bytes = self._clamp("state", self.state_bytes + delta)
         self._note_peak()
 
     def add_send_queue(self, delta: float) -> None:
         """Adjust bytes sitting in network send queues."""
-        self.send_queue_bytes += delta
+        self.send_queue_bytes = self._clamp(
+            "send_queue", self.send_queue_bytes + delta
+        )
         self._note_peak()
 
     def add_recv_buffer(self, delta: float) -> None:
         """Adjust bytes buffered at the receiver pending installation."""
-        self.recv_buffer_bytes += delta
+        self.recv_buffer_bytes = self._clamp(
+            "recv_buffer", self.recv_buffer_bytes + delta
+        )
         self._note_peak()
 
     def add_retained(self, delta: float) -> None:
@@ -69,7 +104,7 @@ class MemoryModel:
         than the network threads can send them, and the originals are not
         returned to the OS in the meantime).
         """
-        self.retained_bytes += delta
+        self.retained_bytes = self._clamp("retained", self.retained_bytes + delta)
         self._note_peak()
 
 

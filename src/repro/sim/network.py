@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.runtime_events.events import MessageEnqueued, MessageTransmitted
+from repro.runtime_events.events import (
+    AccountingClamped,
+    MessageDropped,
+    MessageEnqueued,
+    MessageTransmitted,
+)
 from repro.sim.cost import CostModel
 from repro.sim.engine import Simulator
 from repro.sim.memory import MemoryModel
@@ -31,6 +36,10 @@ class NetworkMessage:
     ``retained_bytes`` is sender-side memory that must stay resident until
     the bytes have left the sender's queue; the cluster releases it from the
     sending process's ``retained`` pool at transmit-complete.
+
+    ``on_dropped`` (when set) is invoked instead of delivery if fault
+    injection loses the message, so the sender can compensate progress
+    accounting for the payload.
     """
 
     src_worker: int
@@ -38,6 +47,7 @@ class NetworkMessage:
     size_bytes: float
     payload: object
     retained_bytes: float = 0.0
+    on_dropped: Optional[Callable[["NetworkMessage"], None]] = None
 
 
 class Link:
@@ -48,10 +58,15 @@ class Link:
         sim: Simulator,
         bandwidth_bytes_per_s: float,
         latency_s: float,
+        src_process: int = -1,
+        dst_process: int = -1,
     ) -> None:
         self._sim = sim
         self.bandwidth = bandwidth_bytes_per_s
         self.latency = latency_s
+        self.src_process = src_process
+        self.dst_process = dst_process
+        self.chaos = None
         self._busy_until = 0.0
         self.queued_bytes = 0.0
 
@@ -65,21 +80,42 @@ class Link:
 
         ``on_sent`` fires when the last byte leaves the send queue;
         ``on_delivered`` fires one propagation latency later at the receiver.
-        Returns the delivery time.
+        Returns the delivery time.  An active chaos degradation window
+        scales the effective bandwidth and adds propagation latency.
         """
+        bandwidth = self.bandwidth
+        latency = self.latency
+        if self.chaos is not None:
+            factor, extra = self.chaos.link_degradation(
+                self.src_process, self.dst_process
+            )
+            bandwidth *= factor
+            latency += extra
         start = max(self._sim.now, self._busy_until)
-        transmit_time = message.size_bytes / self.bandwidth if self.bandwidth else 0.0
+        transmit_time = message.size_bytes / bandwidth if bandwidth else 0.0
         done = start + transmit_time
         self._busy_until = done
         self.queued_bytes += message.size_bytes
 
         def _sent() -> None:
             self.queued_bytes -= message.size_bytes
+            if self.queued_bytes < 0.0:
+                trace = self._sim.trace
+                if trace.wants_faults and self.queued_bytes < -1e-6:
+                    trace.publish(
+                        AccountingClamped(
+                            owner=f"link[{self.src_process}->{self.dst_process}]",
+                            pool="queued_bytes",
+                            value=self.queued_bytes,
+                            at=self._sim.now,
+                        )
+                    )
+                self.queued_bytes = 0.0
             if on_sent is not None:
                 on_sent(message)
 
         self._sim.schedule_at(done, _sent)
-        delivery = done + self.latency
+        delivery = done + latency
         self._sim.schedule_at(delivery, lambda: on_delivered(message))
         return delivery
 
@@ -132,15 +168,28 @@ class Cluster:
         for p in range(num_processes):
             lo = p * workers_per_process
             hi = min(lo + workers_per_process, num_workers)
-            self.processes.append(Process(index=p, worker_ids=list(range(lo, hi))))
+            process = Process(index=p, worker_ids=list(range(lo, hi)))
+            process.memory.attach_trace(sim, f"process[{p}]")
+            self.processes.append(process)
 
+        self.chaos = None
         self._links: dict[tuple[int, int], Link] = {}
         for src in range(num_processes):
             for dst in range(num_processes):
                 if src != dst:
                     self._links[(src, dst)] = Link(
-                        sim, bandwidth_bytes_per_s, network_latency_s
+                        sim,
+                        bandwidth_bytes_per_s,
+                        network_latency_s,
+                        src_process=src,
+                        dst_process=dst,
                     )
+
+    def install_chaos(self, injector) -> None:
+        """Attach a chaos injector to this cluster and all its links."""
+        self.chaos = injector
+        for link in self._links.values():
+            link.chaos = injector
 
     def process_of(self, worker: int) -> Process:
         """Process hosting ``worker``."""
@@ -174,6 +223,10 @@ class Cluster:
             )
         src_proc = self.process_of(message.src_worker)
         dst_proc = self.process_of(message.dst_worker)
+        if self.chaos is not None:
+            reason = self.chaos.drop_reason(src_proc.index, dst_proc.index)
+            if reason is not None:
+                return self._drop(message, reason)
         if src_proc.index == dst_proc.index:
             # In-process: no send queue — the bytes "leave" immediately.
             self._mark_transmitted(src_proc, message)
@@ -194,6 +247,32 @@ class Cluster:
         return self.link(src_proc.index, dst_proc.index).transmit(
             message, on_delivered, _sent
         )
+
+    def _drop(self, message: NetworkMessage, reason: str) -> float:
+        """Lose ``message`` to an injected fault.
+
+        The sender's retained bytes are released immediately (the payload is
+        gone, not queued), the loss is traced, and the message's
+        ``on_dropped`` compensator runs so progress accounting does not wait
+        forever for a delivery that will never happen.
+        """
+        src_proc = self.process_of(message.src_worker)
+        if message.retained_bytes:
+            src_proc.memory.add_retained(-message.retained_bytes)
+        trace = self.sim.trace
+        if trace.wants_faults:
+            trace.publish(
+                MessageDropped(
+                    src_worker=message.src_worker,
+                    dst_worker=message.dst_worker,
+                    size_bytes=message.size_bytes,
+                    reason=reason,
+                    at=self.sim.now,
+                )
+            )
+        if message.on_dropped is not None:
+            self.sim.schedule(0.0, lambda: message.on_dropped(message))
+        return self.sim.now
 
     def _mark_transmitted(self, src_proc: Process, message: NetworkMessage) -> None:
         """The message's last byte left the sender: release retained memory."""

@@ -40,6 +40,7 @@ from repro.runtime_events.events import (
     BatchDelivered,
     CapabilityDropped,
     CapabilityHeld,
+    MessageDropped,
     SendFlushed,
 )
 from repro.runtime_events.items import (
@@ -324,6 +325,12 @@ class WorkerRuntime:
         self._frontier_pending: set[int] = set()
         self._busy_until = 0.0
         self._activation_scheduled = False
+        # Fault injection: a dead worker drops arriving work (with progress
+        # compensation) and never activates; ``chaos`` (set by the injector)
+        # supplies stall windows and slowdown factors.  ``None`` means the
+        # hooks cost nothing — the no-chaos path is bit-identical.
+        self.alive = True
+        self.chaos = None
 
     @property
     def busy_until(self) -> float:
@@ -348,7 +355,15 @@ class WorkerRuntime:
     def enqueue_message(
         self, channel: ChannelDesc, time: Timestamp, records: list, size_bytes: float
     ) -> None:
-        """A batch arrived on ``channel`` for this worker."""
+        """A batch arrived on ``channel`` for this worker.
+
+        A dead (crashed) worker loses the batch: the channel's in-flight
+        count is consumed immediately so the frontier does not wait forever
+        on a delivery nobody will process.
+        """
+        if not self.alive:
+            self._drop_arrival(channel.index, time, size_bytes, is_message=True)
+            return
         self._work.append(
             MessageWork(channel=channel, time=time, records=records, size_bytes=size_bytes)
         )
@@ -356,11 +371,37 @@ class WorkerRuntime:
 
     def enqueue_source(self, op_index: int, time: Timestamp, records: list) -> None:
         """The input handle of source ``op_index`` injected a batch."""
+        if not self.alive:
+            # Release the per-batch capability InputHandle.send registered.
+            self._runtime.tracker.capability_update(op_index, time, -1)
+            self._runtime.mark_progress()
+            return
         self._work.append(SourceWork(op_index=op_index, time=time, records=records))
         self.activate()
 
+    def _drop_arrival(
+        self, channel_index: int, time: Timestamp, size_bytes: float, is_message: bool
+    ) -> None:
+        tracker = self._runtime.tracker
+        if is_message:
+            tracker.message_consumed(channel_index, time)
+        trace = self._runtime.sim.trace
+        if trace.wants_faults:
+            trace.publish(
+                MessageDropped(
+                    src_worker=-1,
+                    dst_worker=self.worker_id,
+                    size_bytes=size_bytes,
+                    reason="dead-worker",
+                    at=self._runtime.sim.now,
+                )
+            )
+        self._runtime.mark_progress()
+
     def note_frontier(self, op_index: int) -> None:
         """An input frontier of ``op_index`` changed; deliver on next activation."""
+        if not self.alive:
+            return
         self._frontier_pending.add(op_index)
         self.activate()
 
@@ -372,7 +413,7 @@ class WorkerRuntime:
 
     def activate(self) -> None:
         """Ensure an activation is scheduled at the earliest legal time."""
-        if self._activation_scheduled:
+        if self._activation_scheduled or not self.alive:
             return
         self._activation_scheduled = True
         at = max(self._runtime.sim.now, self._busy_until)
@@ -381,6 +422,15 @@ class WorkerRuntime:
     def _run_activation(self) -> None:
         self._activation_scheduled = False
         sim = self._runtime.sim
+        if not self.alive:
+            return
+        if self.chaos is not None:
+            stalled_until = self.chaos.stalled_until(self.worker_id)
+            if stalled_until > sim.now:
+                # Hard stall window: defer the whole activation to its end.
+                self._activation_scheduled = True
+                sim.schedule_at(stalled_until, self._run_activation)
+                return
         trace = sim.trace
         if trace.wants_activation:
             trace.publish(ActivationBegin(worker=self.worker_id, at=sim.now))
@@ -403,6 +453,8 @@ class WorkerRuntime:
             cost += self._process_one(self._work.popleft(), sends, deferred)
             processed += 1
 
+        if self.chaos is not None:
+            cost *= self.chaos.cost_multiplier(self.worker_id)
         self._busy_until = start + cost
         if sends:
             self._flush_sends(sends, emit_at=self._busy_until)
@@ -588,6 +640,28 @@ class WorkerRuntime:
             return
 
         def _dispatch() -> None:
+            if not self.alive:
+                # The sender crashed between the send decision and the
+                # network hand-off: the batches are lost.  Consume their
+                # in-flight counts and unpin the sender's retained bytes
+                # so the crash cannot wedge frontiers or RSS accounting.
+                memory = runtime.cluster.process_of(self.worker_id).memory
+                for routed in outgoing:
+                    runtime.tracker.message_consumed(routed.channel.index, routed.time)
+                    if routed.retained_bytes:
+                        memory.add_retained(-routed.retained_bytes)
+                    if trace.wants_faults:
+                        trace.publish(
+                            MessageDropped(
+                                src_worker=self.worker_id,
+                                dst_worker=routed.dst_worker,
+                                size_bytes=routed.size_bytes,
+                                reason="crashed-sender",
+                                at=runtime.sim.now,
+                            )
+                        )
+                runtime.mark_progress()
+                return
             for routed in outgoing:
                 message = NetworkMessage(
                     src_worker=self.worker_id,
@@ -599,8 +673,16 @@ class WorkerRuntime:
                         records=routed.records,
                     ),
                     retained_bytes=routed.retained_bytes,
+                    # A link fault may lose the message in the network; the
+                    # in-flight count it carries must then be consumed here,
+                    # or the channel frontier would wait forever for it.
+                    on_dropped=lambda _msg, r=routed: _compensate_drop(r),
                 )
                 runtime.cluster.send(message, _deliver)
+
+        def _compensate_drop(routed: RoutedSend) -> None:
+            runtime.tracker.message_consumed(routed.channel.index, routed.time)
+            runtime.mark_progress()
 
         def _deliver(message: NetworkMessage) -> None:
             payload = message.payload
@@ -609,6 +691,71 @@ class WorkerRuntime:
             )
 
         runtime.sim.schedule_at(emit_at, _dispatch)
+
+    # -- crash and restart (driven by the chaos injector) ----------------------
+
+    def discard_pending_work(self) -> None:
+        """Drop every queued batch and pending frontier note (crash path).
+
+        Each dropped item's progress accounting is compensated: message
+        batches consume their channel's in-flight count, source batches
+        release the per-batch capability their ``InputHandle.send``
+        registered.  Without this, a crash would freeze the frontier at the
+        oldest undelivered batch forever.
+        """
+        tracker = self._runtime.tracker
+        while self._work:
+            item = self._work.popleft()
+            if type(item) is SourceWork:
+                tracker.capability_update(item.op_index, item.time, -1)
+            else:
+                tracker.message_consumed(item.channel.index, item.time)
+        self._frontier_pending.clear()
+        self._runtime.mark_progress()
+
+    def release_all_capabilities(self) -> None:
+        """Release every capability this worker's operators hold (crash path).
+
+        Covers explicitly held capabilities, pending-notification
+        capabilities, and send guards of batches buffered but not yet
+        flushed.  Afterwards the worker holds no progress obligations and
+        the rest of the cluster can advance past it.
+        """
+        tracker = self._runtime.tracker
+        for ctx in self.contexts:
+            op = ctx.op_index
+            for time, count in list(ctx._held_capabilities.items()):
+                tracker.capability_update(op, time, -count)
+            ctx._held_capabilities.clear()
+            for time in list(ctx._notify_pending):
+                tracker.capability_update(op, time, -1)
+            ctx._notify_pending.clear()
+            ctx._notify_heap.clear()
+            for buffered in ctx._take_sends():
+                tracker.capability_update(op, buffered.time, -1)
+        self._runtime.mark_progress()
+
+    def reinstall_operators(self) -> None:
+        """Rebuild every operator instance from the graph (restart path).
+
+        The restarted process comes back with freshly constructed logics and
+        empty contexts — all pre-crash operator state is gone, exactly like
+        a real process restart.  Source capabilities are *not* re-added:
+        those belong to the (closed) input handles.  Recovery may then
+        reseed Megaphone bin state through the coordinator.
+        """
+        self.shared.clear()
+        self.contexts.clear()
+        self.logics.clear()
+        self._on_input.clear()
+        self._on_frontier.clear()
+        self._on_notify.clear()
+        self._input_cost.clear()
+        for desc in self._runtime.graph.operators:
+            logic = desc.logic_factory(self.worker_id)
+            self.install(desc, logic)
+        self._busy_until = self._runtime.sim.now
+        self._activation_scheduled = False
 
     def _partition(self, channel: ChannelDesc, records: list) -> dict[int, list]:
         num_workers = self._runtime.num_workers

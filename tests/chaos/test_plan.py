@@ -1,0 +1,118 @@
+"""Tests for fault-plan validation."""
+
+import pytest
+
+from repro.chaos.plan import (
+    ANY_PROCESS,
+    ChaosConfig,
+    FaultPlan,
+    LinkFault,
+    ProcessCrash,
+    WorkerStall,
+)
+
+
+def test_empty_plan_is_empty_and_valid():
+    plan = FaultPlan()
+    assert plan.empty
+    plan.validate(num_processes=2, num_workers=4)
+
+
+def test_populated_plan_is_not_empty():
+    plan = FaultPlan(crashes=(ProcessCrash(at_s=1.0, process=0),))
+    assert not plan.empty
+
+
+def test_crash_process_out_of_range():
+    plan = FaultPlan(crashes=(ProcessCrash(at_s=1.0, process=2),))
+    with pytest.raises(ValueError, match="targets process 2"):
+        plan.validate(num_processes=2, num_workers=4)
+
+
+def test_crash_negative_onset():
+    plan = FaultPlan(crashes=(ProcessCrash(at_s=-0.5, process=0),))
+    with pytest.raises(ValueError, match="at_s"):
+        plan.validate(num_processes=2, num_workers=4)
+
+
+def test_crash_nonpositive_restart():
+    plan = FaultPlan(
+        crashes=(ProcessCrash(at_s=1.0, process=0, restart_after_s=0.0),)
+    )
+    with pytest.raises(ValueError, match="restart_after_s"):
+        plan.validate(num_processes=2, num_workers=4)
+
+
+def test_double_crash_of_one_process_rejected():
+    plan = FaultPlan(
+        crashes=(
+            ProcessCrash(at_s=1.0, process=0),
+            ProcessCrash(at_s=2.0, process=0),
+        )
+    )
+    with pytest.raises(ValueError, match="at most one crash"):
+        plan.validate(num_processes=2, num_workers=4)
+
+
+def test_link_fault_endpoint_out_of_range():
+    plan = FaultPlan(
+        link_faults=(LinkFault(at_s=1.0, duration_s=1.0, src_process=5),)
+    )
+    with pytest.raises(ValueError, match="src_process=5"):
+        plan.validate(num_processes=2, num_workers=4)
+
+
+def test_link_fault_wildcard_endpoints_accepted():
+    plan = FaultPlan(
+        link_faults=(
+            LinkFault(
+                at_s=1.0,
+                duration_s=1.0,
+                src_process=ANY_PROCESS,
+                dst_process=ANY_PROCESS,
+                drop_prob=0.5,
+            ),
+        )
+    )
+    plan.validate(num_processes=2, num_workers=4)
+
+
+@pytest.mark.parametrize(
+    "kwargs,message",
+    [
+        (dict(duration_s=0.0), "duration"),
+        (dict(duration_s=1.0, drop_prob=1.5), "drop_prob"),
+        (dict(duration_s=1.0, drop_prob=-0.1), "drop_prob"),
+        (dict(duration_s=1.0, bandwidth_factor=0.0), "bandwidth_factor"),
+        (dict(duration_s=1.0, extra_latency_s=-1.0), "extra_latency_s"),
+    ],
+)
+def test_link_fault_bad_parameters(kwargs, message):
+    plan = FaultPlan(link_faults=(LinkFault(at_s=1.0, **kwargs),))
+    with pytest.raises(ValueError, match=message):
+        plan.validate(num_processes=2, num_workers=4)
+
+
+def test_stall_worker_out_of_range():
+    plan = FaultPlan(stalls=(WorkerStall(at_s=1.0, duration_s=1.0, worker=9),))
+    with pytest.raises(ValueError, match="targets worker 9"):
+        plan.validate(num_processes=2, num_workers=4)
+
+
+def test_stall_bad_window_and_slowdown():
+    plan = FaultPlan(stalls=(WorkerStall(at_s=1.0, duration_s=0.0, worker=0),))
+    with pytest.raises(ValueError, match="duration"):
+        plan.validate(num_processes=2, num_workers=4)
+    plan = FaultPlan(
+        stalls=(WorkerStall(at_s=1.0, duration_s=1.0, worker=0, slowdown=-1.0),)
+    )
+    with pytest.raises(ValueError, match="slowdown"):
+        plan.validate(num_processes=2, num_workers=4)
+
+
+def test_chaos_config_defaults():
+    cfg = ChaosConfig()
+    assert cfg.plan.empty
+    assert cfg.retry is None
+    assert cfg.watchdog is None
+    assert cfg.snapshot_at_s is None

@@ -1,0 +1,48 @@
+"""Suite-wide fixtures: a per-test wall-clock timeout.
+
+Fault-injection tests drive event loops that, on a liveness bug, would spin
+forever rather than fail.  Each test therefore runs under a SIGALRM-based
+deadline (``REPRO_TEST_TIMEOUT_S`` seconds, default 120) so a wedged run
+aborts with a stack trace instead of hanging CI.  Implemented with the
+standard library only; on platforms without SIGALRM (or off the main
+thread) the guard degrades to a no-op.
+"""
+
+import os
+import signal
+import threading
+
+import pytest
+
+DEFAULT_TIMEOUT_S = 120
+
+
+class TestTimeout(Exception):
+    """Raised in-test when the per-test deadline expires."""
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout(request):
+    timeout_s = int(os.environ.get("REPRO_TEST_TIMEOUT_S", DEFAULT_TIMEOUT_S))
+    if (
+        timeout_s <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TestTimeout(
+            f"{request.node.nodeid} exceeded {timeout_s}s "
+            "(REPRO_TEST_TIMEOUT_S) — likely a liveness bug: the event loop "
+            "kept running without the test's exit condition becoming true"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(timeout_s)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

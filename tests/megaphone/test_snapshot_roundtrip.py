@@ -1,0 +1,114 @@
+"""Property tests: snapshot serialization round-trips losslessly.
+
+The durable form (``snapshot_to_bytes``/``snapshot_from_bytes``) must
+preserve every bin — including *empty* bins, which a fault-tolerance
+mechanism needs to distinguish from *missing* bins (an empty bin restores
+as "known, zero keys"; a missing one would be recreated with default
+state at an arbitrary later time).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.megaphone.snapshot import (
+    BinSnapshot,
+    OperatorSnapshot,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
+from tests.megaphone.test_adaptive_snapshot import build, drain, feed
+from repro.megaphone.snapshot import SnapshotCoordinator, restore_into
+
+bin_states = st.dictionaries(
+    keys=st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    values=st.integers(min_value=-(2**40), max_value=2**40),
+    max_size=6,
+)
+
+pending_entries = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=100),
+        st.tuples(st.text(alphabet="xyz", min_size=1, max_size=2), st.integers()),
+    ),
+    max_size=3,
+)
+
+
+@st.composite
+def snapshots(draw):
+    bin_ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=31), unique=True, max_size=8
+        )
+    )
+    snapshot = OperatorSnapshot(
+        name=draw(st.sampled_from(["op", "count", "q5"])),
+        time=draw(st.integers(min_value=0, max_value=1000)),
+        captured_at=draw(
+            st.floats(min_value=0.0, max_value=60.0, allow_nan=False)
+        ),
+        frontier_at_capture=tuple(
+            draw(st.lists(st.integers(min_value=0, max_value=1000), max_size=2))
+        ),
+    )
+    for bin_id in bin_ids:
+        snapshot.bins[bin_id] = BinSnapshot(
+            bin_id=bin_id,
+            worker=draw(st.integers(min_value=0, max_value=3)),
+            state=draw(bin_states),
+            pending=draw(pending_entries),
+            size_bytes=draw(
+                st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+            ),
+        )
+    return snapshot
+
+
+@given(snapshots())
+def test_serialized_snapshot_roundtrips(snapshot):
+    restored = snapshot_from_bytes(snapshot_to_bytes(snapshot))
+    assert restored.name == snapshot.name
+    assert restored.time == snapshot.time
+    assert restored.captured_at == snapshot.captured_at
+    assert restored.frontier_at_capture == snapshot.frontier_at_capture
+    assert set(restored.bins) == set(snapshot.bins)
+    for bin_id, original in snapshot.bins.items():
+        copy = restored.bins[bin_id]
+        assert copy.bin_id == original.bin_id
+        assert copy.worker == original.worker
+        assert copy.state == original.state
+        assert copy.pending == original.pending
+        assert copy.size_bytes == original.size_bytes
+    # Per-bin sizes are exact; the total is a float sum whose order follows
+    # dict insertion, so compare it tolerantly.
+    assert abs(restored.total_bytes - snapshot.total_bytes) < 1e-6 * max(
+        1.0, snapshot.total_bytes
+    )
+    assert restored.assignment() == snapshot.assignment()
+
+
+@given(st.integers(min_value=1, max_value=4))
+@settings(max_examples=8, deadline=None)
+def test_extract_serialize_install_is_lossless(keys):
+    # Extract from a live run.  With few keys most of the 16 bins stay
+    # empty, which is exactly the degenerate case worth exercising.
+    df, runtime, cg, dg, probe, op, initial, ticker = build()
+    snap_time = 30
+    coordinator = SnapshotCoordinator(runtime, op, probe, snap_time)
+    feed(runtime, dg, 30, keys=keys)
+    drain(runtime, ticker)
+    snapshot = coordinator.snapshot
+    assert snapshot is not None
+    nonempty = sum(1 for b in snapshot.bins.values() if b.state)
+    assert nonempty <= keys  # the rest round-trip as empty bins
+
+    # Serialize -> durable bytes -> deserialize -> install into a fresh run.
+    restored = snapshot_from_bytes(snapshot_to_bytes(snapshot))
+    df2, runtime2, cg2, dg2, probe2, op2, initial2, ticker2 = build()
+    restore_into(runtime2, op2, restored)
+    for bin_id, expected in snapshot.bins.items():
+        store = op2.store(runtime2, expected.worker)
+        assert store.has(bin_id)
+        assert store.get(bin_id).state == expected.state
+    dg2.close_all()
+    drain(runtime2, ticker2)

@@ -1,0 +1,97 @@
+"""Tests for the negative-balance guards on byte accounting.
+
+A negative pool means a double release or a missed charge (fault paths are
+the usual culprits).  The models clamp back to zero — keeping RSS metrics
+sane — and, when fault tracing is on, publish an ``AccountingClamped``
+warning so the bug is visible instead of silently absorbed.
+"""
+
+import pytest
+
+from repro.runtime_events.bus import TraceLog
+from repro.runtime_events.events import TOPIC_FAULTS, AccountingClamped
+from repro.sim.engine import Simulator
+from repro.sim.memory import MemoryModel
+from repro.sim.network import Link, NetworkMessage
+
+
+def test_memory_pools_clamp_and_warn():
+    sim = Simulator()
+    log = TraceLog(sim.trace, topics=(TOPIC_FAULTS,))
+    memory = MemoryModel(base_bytes=10.0)
+    memory.attach_trace(sim, "process[0]")
+
+    memory.add_state(100.0)
+    memory.add_state(-150.0)  # double release
+    assert memory.state_bytes == 0.0
+    assert memory.rss_bytes == 10.0
+
+    memory.add_send_queue(-1.0)
+    memory.add_recv_buffer(-1.0)
+    memory.add_retained(-1.0)
+    assert memory.send_queue_bytes == 0.0
+    assert memory.recv_buffer_bytes == 0.0
+    assert memory.retained_bytes == 0.0
+
+    clamps = log.of_type(AccountingClamped)
+    assert [e.pool for e in clamps] == [
+        "state", "send_queue", "recv_buffer", "retained",
+    ]
+    assert all(e.owner == "process[0]" for e in clamps)
+    assert clamps[0].value == pytest.approx(-50.0)
+
+
+def test_memory_clamp_without_trace_is_silent():
+    memory = MemoryModel()
+    memory.add_state(-5.0)  # no attach_trace: clamp only, no publication
+    assert memory.state_bytes == 0.0
+
+
+def test_tiny_float_noise_not_reported():
+    sim = Simulator()
+    log = TraceLog(sim.trace, topics=(TOPIC_FAULTS,))
+    memory = MemoryModel()
+    memory.attach_trace(sim, "process[0]")
+    memory.add_state(-1e-9)  # rounding noise, not an accounting bug
+    assert memory.state_bytes == 0.0
+    assert not log.of_type(AccountingClamped)
+
+
+def test_link_queued_bytes_clamps_and_warns():
+    sim = Simulator()
+    log = TraceLog(sim.trace, topics=(TOPIC_FAULTS,))
+    link = Link(
+        sim, bandwidth_bytes_per_s=1e6, latency_s=0.001,
+        src_process=0, dst_process=1,
+    )
+    message = NetworkMessage(
+        src_worker=0, dst_worker=4, size_bytes=100.0, payload="x"
+    )
+    link.transmit(message, on_delivered=lambda m: None)
+    # Simulate an external double-release of the queued bytes; the sent
+    # callback then drives the counter negative.
+    link.queued_bytes = 0.0
+    sim.run()
+    assert link.queued_bytes == 0.0
+    clamps = log.of_type(AccountingClamped)
+    assert len(clamps) == 1
+    assert clamps[0].pool == "queued_bytes"
+    assert clamps[0].owner == "link[0->1]"
+    assert clamps[0].value == pytest.approx(-100.0)
+
+
+def test_link_accounting_balanced_in_normal_operation():
+    sim = Simulator()
+    log = TraceLog(sim.trace, topics=(TOPIC_FAULTS,))
+    link = Link(sim, bandwidth_bytes_per_s=1e6, latency_s=0.001)
+    for _ in range(5):
+        link.transmit(
+            NetworkMessage(
+                src_worker=0, dst_worker=4, size_bytes=100.0, payload="x"
+            ),
+            on_delivered=lambda m: None,
+        )
+    assert link.queued_bytes == pytest.approx(500.0)
+    sim.run()
+    assert link.queued_bytes == 0.0
+    assert not log.of_type(AccountingClamped)

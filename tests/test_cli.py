@@ -60,3 +60,70 @@ def test_trace_command_prints_phase_breakdown(capsys):
     assert "drain" in out
     assert "catch-up" in out
     assert "measured migration duration" in out
+
+
+@pytest.mark.parametrize(
+    "argv,message",
+    [
+        (["count", "--workers", "0"], "--workers must be positive"),
+        (["count", "--workers-per-process", "-1"],
+         "--workers-per-process must be positive"),
+        (["count", "--bins", "0"], "--bins must be positive"),
+        (["count", "--bins", "12"], "--bins must be a power of two"),
+        (["count", "--rate", "0"], "--rate must be positive"),
+        (["count", "--rate", "-100"], "--rate must be positive"),
+        (["count", "--duration", "0"], "--duration must be positive"),
+        (["count", "--batch-size", "0"], "--batch-size must be positive"),
+        (["count", "--granularity-ms", "0"], "--granularity-ms must be positive"),
+        (["count", "--duration", "8", "--migrate-at", "8.5"], "outside (0, 8.0)"),
+        (["count", "--duration", "8", "--migrate-at", "0"], "outside (0, 8.0)"),
+        (["count", "--duration", "8", "--migrate-at", "-1"], "outside (0, 8.0)"),
+        (["compare", "--duration", "4", "--migrate-at", "2", "5"],
+         "outside (0, 4.0)"),
+        (["nexmark", "--query", "2", "--rate", "0"], "--rate must be positive"),
+        (["chaos", "--bins", "3"], "--bins must be a power of two"),
+    ],
+)
+def test_invalid_arguments_rejected(argv, message, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2  # argparse usage-error convention
+    assert message in capsys.readouterr().err
+
+
+def test_boundary_migrate_at_accepted():
+    # Strictly inside (0, duration) parses fine (and, with a tiny workload,
+    # runs fine too).
+    code = main([
+        "count", "--domain", "10000", "--rate", "2000", "--duration", "2",
+        "--workers", "2", "--workers-per-process", "2", "--bins", "16",
+        "--migrate-at", "1.999",
+    ])
+    assert code == 0
+
+
+def test_chaos_parser_defaults():
+    args = build_parser().parse_args(["chaos"])
+    assert args.scenario == "crash-target"
+    assert args.workers == 4
+    assert args.bins == 16
+    assert args.migrate_at == [2.0]
+
+
+def test_chaos_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["chaos", "--scenario", "meteor"])
+
+
+@pytest.mark.slow
+def test_chaos_command_reports_verdicts(capsys):
+    code = main([
+        "chaos", "--scenario", "stall", "--duration", "4",
+        "--rate", "5000", "--migrate-at", "1.5",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "chaos: stall" in out
+    for strategy in ("all-at-once", "fluid", "batched", "optimized"):
+        assert strategy in out
+    assert "Completion holds" in out
