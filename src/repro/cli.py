@@ -6,7 +6,11 @@ Usage (module form)::
     python -m repro.cli nexmark --query 5 --strategy batched --dilation 60
     python -m repro.cli compare --domain 1e9           # Figure 1 in one line
     python -m repro.cli trace --domain 1e7             # per-bin phase breakdown
+    python -m repro.cli bench --scale smoke            # hot-path throughput
     python -m repro.cli list
+
+``--profile`` (before the subcommand) wraps any command in cProfile and
+prints the top 25 functions by cumulative time after the report.
 
 Each command builds the simulated cluster, runs the workload with the
 requested migrations, and prints the latency timeline plus a migration
@@ -29,6 +33,7 @@ from repro.harness.report import (
 from repro.megaphone.migration import STRATEGIES
 from repro.nexmark.config import NexmarkConfig
 from repro.nexmark.harness import run_nexmark_experiment
+from repro.perf.hotpath import SCALES
 
 
 def _common_args(parser: argparse.ArgumentParser) -> None:
@@ -246,10 +251,50 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Measure hot-path throughput and write ``BENCH_hotpath.json``."""
+    from repro.perf.hotpath import run_bench, write_report
+
+    report = run_bench(
+        args.scale, layers=not args.no_layers, repeats=args.repeats
+    )
+    rows = []
+    for workload, numbers in report["workloads"].items():
+        rows.append(
+            (
+                workload,
+                f"{numbers['records']:,}",
+                f"{numbers['wall_seconds']:.3f}s",
+                f"{numbers['records_per_s']:,.0f}",
+                f"{numbers['sim_events_per_s']:,.0f}",
+            )
+        )
+    print_table(
+        f"hot-path bench, scale {report['scale']}",
+        ["workload", "records", "wall", "records/s", "events/s"],
+        rows,
+    )
+    if "layers" in report:
+        for workload, layers in report["layers"].items():
+            top = list(layers.items())[:5]
+            breakdown = ", ".join(
+                f"{layer} {entry['fraction']:.0%}" for layer, entry in top
+            )
+            print(f"{workload} CPU by layer: {breakdown}")
+    if "speedup" in report:
+        for workload, factor in report["speedup"].items():
+            base = report["baseline"][workload]["records_per_s"]
+            print(f"{workload}: {factor:.2f}x vs baseline ({base:,.0f} rec/s)")
+    write_report(report, args.output)
+    print(f"report written to {args.output}")
+    return 0
+
+
 def cmd_list(args) -> int:
     """List available workloads and strategies."""
     print("workloads: count (microbenchmark), nexmark (queries 1-8)")
     print(f"strategies: {', '.join(STRATEGIES)}")
+    print("bench: python -m repro.cli bench --scale smoke|full  (hot-path throughput)")
     print("benchmarks: pytest benchmarks/ --benchmark-only  (one per paper figure)")
     return 0
 
@@ -257,6 +302,11 @@ def cmd_list(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the command under cProfile and print the top 25 functions "
+        "by cumulative time",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     count = sub.add_parser("count", help="run the counting microbenchmark")
@@ -328,6 +378,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(fn=cmd_chaos)
 
+    bench = sub.add_parser(
+        "bench", help="measure hot-path throughput (records/s, events/s)"
+    )
+    bench.add_argument(
+        "--scale", choices=sorted(SCALES), default="full",
+        help="workload size (full matches the checked-in baseline)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed repetitions per workload (default: the scale's own)",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_hotpath.json",
+        help="where to write the JSON report",
+    )
+    bench.add_argument(
+        "--no-layers", action="store_true",
+        help="skip the profiled per-layer CPU breakdown",
+    )
+    bench.set_defaults(fn=cmd_bench)
+
     lst = sub.add_parser("list", help="list workloads and strategies")
     lst.set_defaults(fn=cmd_list)
     return parser
@@ -339,7 +410,22 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if hasattr(args, "workers"):
         _validate_common(parser, args)
-    return args.fn(args)
+    if hasattr(args, "repeats") and args.repeats is not None and args.repeats <= 0:
+        parser.error(f"--repeats must be positive, got {args.repeats}")
+    if not args.profile:
+        return args.fn(args)
+    import cProfile
+    import pstats
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        status = args.fn(args)
+    finally:
+        profile.disable()
+        stats = pstats.Stats(profile)
+        stats.sort_stats("cumulative").print_stats(25)
+    return status
 
 
 if __name__ == "__main__":

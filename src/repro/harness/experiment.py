@@ -72,6 +72,10 @@ class ExperimentConfig:
     # with or without it.
     collect_trace: bool = False
     native: bool = False  # run the non-migrateable baseline instead
+    # Force the per-record reference routing path in F (disables the
+    # steady-state flat-owner fast path).  Simulated results must be
+    # identical either way; equivalence tests assert exactly that.
+    reference_routing: bool = False
     seed: int = 1
     # Fault injection.  None (the default) leaves every chaos hook unwired —
     # the run is byte-identical to a build without the chaos subsystem.
@@ -95,7 +99,7 @@ class ExperimentResult:
     timeline: LatencyTimeline
     migrations: list[MigrationResult] = field(default_factory=list)
     memory: list[MemoryTimeline] = field(default_factory=list)
-    records_injected: float = 0.0
+    records_injected: int = 0
     sim_events: int = 0
     wall_seconds: float = 0.0
     # Present when the config asked for trace collection.
@@ -390,6 +394,7 @@ def _build_megaphone_count(df, control, data, cfg: ExperimentConfig):
         name="count",
         state_factory=workload.state_factory_for(cfg.num_bins),
         state_size_fn=lambda state: len(state) * cfg.bytes_per_key,
+        reference_routing=cfg.reference_routing,
     )
 
     def state_bytes_fn(worker: int) -> float:

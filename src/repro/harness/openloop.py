@@ -48,11 +48,12 @@ class OpenLoopSource:
         self.recorder = recorder
         self.start_s = start_s
         self.dilation = dilation
-        self._records_injected = 0.0
+        # An int: injected counts are exact, never float-accumulated.
+        self._records_injected = 0
         self._carry = 0.0
 
     @property
-    def records_injected(self) -> float:
+    def records_injected(self) -> int:
         """Total records injected so far."""
         return self._records_injected
 

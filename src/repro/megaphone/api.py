@@ -52,6 +52,7 @@ def state_machine(
     name: str = "state_machine",
     state_factory: Callable[[], object] = dict,
     state_size_fn: Optional[Callable[[object], float]] = None,
+    reference_routing: bool = False,
 ) -> MigrateableOperator:
     """Migrateable per-record state machine over ``(key, val)`` pairs.
 
@@ -63,9 +64,10 @@ def state_machine(
 
     def applier(app: ApplicationContext) -> None:
         state = app.state
+        extend = app.outputs.extend
         for _tag, record in app.entries:
             key, val = record
-            app.emit(fold(key, val, state))
+            extend(fold(key, val, state))
 
     return build_migrateable(
         control,
@@ -77,6 +79,7 @@ def state_machine(
         initial=initial,
         state_factory=state_factory,
         state_size_fn=state_size_fn,
+        reference_routing=reference_routing,
     )
 
 
@@ -90,6 +93,7 @@ def unary(
     name: str = "unary",
     state_factory: Callable[[], object] = dict,
     state_size_fn: Optional[Callable[[object], float]] = None,
+    reference_routing: bool = False,
 ) -> MigrateableOperator:
     """Migrateable single-input stateful operator.
 
@@ -111,6 +115,7 @@ def unary(
         initial=initial,
         state_factory=state_factory,
         state_size_fn=state_size_fn,
+        reference_routing=reference_routing,
     )
 
 
@@ -126,6 +131,7 @@ def binary(
     name: str = "binary",
     state_factory: Callable[[], object] = dict,
     state_size_fn: Optional[Callable[[object], float]] = None,
+    reference_routing: bool = False,
 ) -> MigrateableOperator:
     """Migrateable two-input stateful operator.
 
@@ -149,4 +155,5 @@ def binary(
         initial=initial,
         state_factory=state_factory,
         state_size_fn=state_size_fn,
+        reference_routing=reference_routing,
     )

@@ -34,11 +34,12 @@ from repro.runtime_events.events import (
     BinStateExtracted,
     BinStateInstalled,
 )
-from repro.megaphone.control import BinnedConfiguration, ControlInst, bin_of
+from repro.megaphone.control import BinnedConfiguration, ControlInst
 from repro.megaphone.routing import RoutingTable
+from repro.runtime_events.items import DestinationBatch, batch_record_count
 from repro.timely.antichain import Antichain
 from repro.timely.dataflow import Stream
-from repro.timely.graph import Broadcast, Exchange, Pipeline
+from repro.timely.graph import Broadcast, Exchange, GroupedExchange, Pipeline
 from repro.timely.notificator import PendingQueue
 from repro.timely.timestamp import Timestamp, less_equal
 
@@ -58,6 +59,8 @@ class ApplicationContext:
     output at the group's time; ``schedule`` post-dates a record to a future
     time for the same bin (Megaphone's extended notificator idiom).
     """
+
+    __slots__ = ("time", "bin", "entries", "worker", "outputs", "scheduled")
 
     def __init__(
         self, time: Timestamp, bin_: Bin, entries: list, worker: int = -1
@@ -152,14 +155,62 @@ class _FLogic:
     def _route_batch(self, ctx, time: Timestamp, port_tag: int, records: list) -> None:
         config = self._config
         key_fn = config.key_fns[port_tag]
+        bin_fn = config.bin_fn
         table = self._table
-        out = []
-        for record in records:
-            bin_id = config.bin_fn(key_fn(record))
-            dst = table.worker_for(bin_id, time)
-            out.append((dst, bin_id, port_tag, record))
+        # dst -> bin -> [(tag, record), ...], in record arrival order.
+        out: dict[int, dict[int, list]] = {}
+        if (
+            table.history_flat
+            and not config.reference_routing
+            and not self._pending_updates
+            and not self._pending_migrations
+        ):
+            # Steady state: every bin's history is its single base entry, so
+            # the owner at any routable time is the current owner — a flat
+            # array read, no binary search.
+            owners = table.current_owners
+            for record in records:
+                bin_id = bin_fn(key_fn(record))
+                dst = owners[bin_id]
+                bins = out.get(dst)
+                if bins is None:
+                    bins = out[dst] = {}
+                entries = bins.get(bin_id)
+                if entries is None:
+                    bins[bin_id] = [(port_tag, record)]
+                else:
+                    entries.append((port_tag, record))
+        else:
+            # Reference path.  All records of a batch share one timestamp,
+            # so each bin's owner is resolved at most once per batch.
+            owner_cache: dict[int, int] = {}
+            worker_for = table.worker_for
+            for record in records:
+                bin_id = bin_fn(key_fn(record))
+                dst = owner_cache.get(bin_id)
+                if dst is None:
+                    dst = owner_cache[bin_id] = worker_for(bin_id, time)
+                bins = out.get(dst)
+                if bins is None:
+                    bins = out[dst] = {}
+                entries = bins.get(bin_id)
+                if entries is None:
+                    bins[bin_id] = [(port_tag, record)]
+                else:
+                    entries.append((port_tag, record))
         if out:
-            ctx.send(0, time, out)
+            ctx.send(
+                0,
+                time,
+                [
+                    DestinationBatch(
+                        dst=dst,
+                        count=sum(map(len, bins.values())),
+                        bins=bins,
+                    )
+                    for dst, bins in out.items()
+                ],
+            )
 
     def input_cost(self, ctx, port: int, records: list, size_bytes: float) -> float:
         if port == CONTROL_PORT:
@@ -195,10 +246,34 @@ class _FLogic:
             self._route_batch(ctx, time, port_tag, records)
 
     def on_frontier(self, ctx) -> None:
-        control_frontier = ctx.input_frontier(CONTROL_PORT)
-        self._integrate_updates(ctx, control_frontier)
-        self._drain_buffered(ctx, control_frontier)
-        self._try_migrations(ctx)
+        # Steady state — no pending control updates, buffered data, or
+        # unshipped migrations — skips every helper outright: each would be
+        # a no-op, and the control-frontier query forces a propagation pass.
+        if self._pending_updates or self._buffered:
+            control_frontier = ctx.input_frontier(CONTROL_PORT)
+            self._integrate_updates(ctx, control_frontier)
+            self._drain_buffered(ctx, control_frontier)
+        if self._pending_migrations:
+            self._try_migrations(ctx)
+        self._maybe_compact(ctx)
+
+    def _maybe_compact(self, ctx) -> None:
+        """Fold settled routing history into the base, re-arming the fast path.
+
+        Every future route happens at a time this F can still send at —
+        a time not in advance of its own output frontier — so entries
+        strictly older than a single-element output frontier are
+        unreachable and can be merged into each bin's base entry.
+        """
+        if (
+            self._table.history_flat
+            or self._pending_updates
+            or self._pending_migrations
+        ):
+            return
+        elements = ctx.output_frontier_of(ctx.op_index).elements()
+        if len(elements) == 1:
+            self._table.compact(elements[0])
 
     # -- steps -----------------------------------------------------------------
 
@@ -262,6 +337,7 @@ class _FLogic:
         cost = ctx.cost
         memory = ctx.memory
         trace = ctx.trace
+        wants_migration = trace.wants_migration
         for bin_id, _src, dst in moves:
             if self._config.recovery_mode and not store.has(bin_id):
                 # The bin is not here to extract — it died with a crashed
@@ -279,7 +355,7 @@ class _FLogic:
             # retained bytes at transmit-complete.
             memory.add_retained(size)
             self._config.probe.note_bytes(time, size)
-            if trace.wants_migration:
+            if wants_migration:
                 trace.publish(
                     BinStateExtracted(
                         name=self._config.name,
@@ -307,9 +383,10 @@ class _SLogic:
     def __init__(self, config: "MegaphoneConfig", worker_id: int) -> None:
         self._config = config
         self._worker_id = worker_id
-        # Data records buffered until the frontier passes their time:
-        # time -> list[(bin_id, tag, record)].
-        self._inbox: dict[Timestamp, list] = {}
+        # Data records buffered until the frontier passes their time,
+        # already grouped the way application consumes them:
+        # time -> {bin_id: [(tag, record), ...]}.
+        self._inbox: dict[Timestamp, dict[int, list]] = {}
         # Bins with scheduled (post-dated) work at a time: time -> set of ids.
         self._scheduled_bins: dict[Timestamp, set[int]] = {}
 
@@ -320,18 +397,27 @@ class _SLogic:
         if port == S_STATE_PORT:
             return ctx.cost.deserialize_cost(size_bytes)
         # Buffering only; the application cost is charged at notification.
-        return len(records) * ctx.cost.progress_update_cost
+        return batch_record_count(records) * ctx.cost.progress_update_cost
 
     def on_input(self, ctx, port: int, time: Timestamp, records: list) -> None:
         if port == S_STATE_PORT:
             self._install_state(ctx, time, records)
             return
-        if time not in self._inbox:
-            self._inbox[time] = []
+        inbox = self._inbox.get(time)
+        if inbox is None:
+            inbox = self._inbox[time] = {}
             ctx.notify_at(time)
-        inbox = self._inbox[time]
-        for dst, bin_id, tag, record in records:
-            inbox.append((bin_id, tag, record))
+        # ``records`` are DestinationBatch groups: adopt each per-bin entry
+        # list outright (F built it for us and keeps no reference), extend
+        # on collision.  Per-bin entry order equals record arrival order,
+        # exactly as the per-record inbox produced.
+        for batch in records:
+            for bin_id, entries in batch.bins.items():
+                existing = inbox.get(bin_id)
+                if existing is None:
+                    inbox[bin_id] = entries
+                else:
+                    existing.extend(entries)
 
     def _install_state(self, ctx, time: Timestamp, records: list) -> None:
         store = self._store(ctx)
@@ -388,33 +474,41 @@ class _SLogic:
 
     def on_notify(self, ctx, time: Timestamp) -> None:
         store = self._store(ctx)
-        groups: dict[int, list] = {}
-        # Post-dated records first: they were produced at earlier times.
+        groups = self._inbox.pop(time, None) or {}
+        # Post-dated records go first per bin: they were produced at
+        # earlier times than anything arriving at ``time``.
         for bin_id in sorted(self._scheduled_bins.pop(time, ())):
             if not store.has(bin_id):
                 continue  # The bin migrated away; its pending work went along.
             bin_ = store.get(bin_id)
-            for _t, entry in bin_.pending.pop_ready(lambda t: less_equal(t, time)):
-                groups.setdefault(bin_id, []).append(entry)
-        for bin_id, tag, record in self._inbox.pop(time, ()):
-            groups.setdefault(bin_id, []).append((tag, record))
+            ready = [
+                entry
+                for _t, entry in bin_.pending.pop_ready(lambda t: less_equal(t, time))
+            ]
+            if ready:
+                existing = groups.get(bin_id)
+                groups[bin_id] = ready + existing if existing else ready
         if not groups:
             return
         cost = ctx.cost
         applier = self._config.applier
+        recovery = self._config.recovery_mode
+        worker_id = ctx.worker_id
         total = 0
         outputs: list = []
         for bin_id in sorted(groups):
             entries = groups[bin_id]
             total += len(entries)
-            app = ApplicationContext(
-                time, self._bin_for(ctx, store, time, bin_id), entries,
-                worker=ctx.worker_id,
+            bin_ = (
+                self._bin_for(ctx, store, time, bin_id)
+                if recovery
+                else store.get(bin_id)
             )
+            app = ApplicationContext(time, bin_, entries, worker=worker_id)
             applier(app)
             outputs.extend(app.outputs)
             for sched_time, entry in app.scheduled:
-                store.get(bin_id).pending.push(sched_time, entry)
+                bin_.pending.push(sched_time, entry)
                 self._schedule_bin(ctx, sched_time, bin_id)
         ctx.charge(total * cost.record_cost)
         if outputs:
@@ -433,6 +527,7 @@ class MegaphoneConfig:
         applier: Applier,
         state_factory: Callable[[], object],
         state_size_fn: Optional[Callable[[object], float]],
+        reference_routing: bool = False,
     ) -> None:
         self.name = name
         self.num_bins = num_bins
@@ -448,10 +543,30 @@ class MegaphoneConfig:
         # extraction of bins it no longer holds.  False keeps the strict
         # fail-loud behavior of fault-free runs.
         self.recovery_mode = False
+        self._store_key = f"megaphone:{name}"
+        # Pin the per-record reference routing path (memoized binary search)
+        # even in steady state; used by equivalence tests and benchmarks.
+        self.reference_routing = reference_routing
         self._route_cost: Optional[float] = None
+        # ``bin_of`` re-validates num_bins on every call; the hot path uses
+        # this pre-resolved closure with the shift baked in instead.
+        if num_bins & (num_bins - 1) != 0 or num_bins <= 0:
+            raise ValueError(f"num_bins must be a power of two, got {num_bins}")
+        bits = num_bins.bit_length() - 1
+        if bits == 0:
+            self.bin_fn = lambda key_int: 0
+        else:
+            shift = 64 - bits
+            mask = 0xFFFFFFFFFFFFFFFF
 
-    def bin_fn(self, key_int: int) -> int:
-        return bin_of(key_int, self.num_bins)
+            def bin_fn(value: int) -> int:
+                # splitmix64 inlined (one call per record adds up).
+                value = (value + 0x9E3779B97F4A7C15) & mask
+                value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & mask
+                value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & mask
+                return (value ^ (value >> 31)) >> shift
+
+            self.bin_fn = bin_fn
 
     def route_cost(self, ctx) -> float:
         if self._route_cost is None:
@@ -459,7 +574,7 @@ class MegaphoneConfig:
         return self._route_cost
 
     def store_for(self, ctx) -> BinStore:
-        key = f"megaphone:{self.name}"
+        key = self._store_key
         store = ctx.shared.get(key)
         if store is None:
             store = BinStore(
@@ -515,6 +630,7 @@ def build_migrateable(
     initial: Optional[BinnedConfiguration] = None,
     state_factory: Callable[[], object] = dict,
     state_size_fn: Optional[Callable[[object], float]] = None,
+    reference_routing: bool = False,
 ) -> MigrateableOperator:
     """Assemble the F/S pair for a migrateable operator.
 
@@ -539,6 +655,7 @@ def build_migrateable(
         applier=applier,
         state_factory=state_factory,
         state_size_fn=state_size_fn,
+        reference_routing=reference_routing,
     )
 
     f_inputs = [(control, Broadcast())]
@@ -552,10 +669,14 @@ def build_migrateable(
     data_out, state_out = f_outputs
     f_op = data_out.op_index
 
-    by_destination = Exchange(lambda record: record[0])
+    # Data batches are destination-grouped by F; migrating state still
+    # travels as per-bin (dst, bin, size) records on a keyed exchange.
     s_outputs = dataflow.add_operator(
         name=f"{name}/S",
-        inputs=[(data_out, by_destination), (state_out, by_destination)],
+        inputs=[
+            (data_out, GroupedExchange()),
+            (state_out, Exchange(lambda record: record[0])),
+        ],
         n_outputs=1,
         logic_factory=lambda worker_id: _SLogic(config, worker_id),
     )

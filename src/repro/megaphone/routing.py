@@ -19,7 +19,15 @@ class RoutingTable:
     advance of the queried time.  Entries must be integrated in
     non-decreasing time order per bin, which the control-frontier discipline
     guarantees.
+
+    ``current_owners`` mirrors each bin's latest entry as a flat array, and
+    ``history_flat`` reports whether every bin's history is a single entry —
+    when it is, a lookup at any time is the current owner and callers may
+    bypass the binary search entirely (the steady-state fast path).
+    ``compact`` restores flatness once old entries become unreachable.
     """
+
+    __slots__ = ("num_bins", "_times", "_workers", "current_owners", "_deep")
 
     def __init__(self, initial: BinnedConfiguration) -> None:
         self.num_bins = initial.num_bins
@@ -30,6 +38,15 @@ class RoutingTable:
             self._times[b].append(None)  # placeholder for "since forever"
             self._workers[b].append(w)
         # None sorts issues: store times as a sentinel -inf via index 0.
+        self.current_owners: list[int] = list(initial.assignment)
+        # Bins whose history holds more than one entry; compaction visits
+        # only these, so it is O(moved bins) rather than O(all bins).
+        self._deep: set[int] = set()
+
+    @property
+    def history_flat(self) -> bool:
+        """True when every bin has exactly one (the base) entry."""
+        return not self._deep
 
     def integrate(self, time: Timestamp, insts: list[ControlInst]) -> None:
         """Apply a final reconfiguration step effective at ``time``."""
@@ -47,6 +64,8 @@ class RoutingTable:
             else:
                 times.append(time)
                 self._workers[inst.bin].append(inst.worker)
+                self._deep.add(inst.bin)
+            self.current_owners[inst.bin] = inst.worker
 
     def worker_for(self, bin_id: int, time: Timestamp) -> int:
         """Owner of ``bin_id`` for records at ``time``."""
@@ -71,7 +90,7 @@ class RoutingTable:
 
         Retains the latest entry at or before ``before`` as the new base.
         """
-        for b in range(self.num_bins):
+        for b in sorted(self._deep):
             times = self._times[b]
             keep_from = 0
             for i in range(1, len(times)):
@@ -84,6 +103,8 @@ class RoutingTable:
                 self._workers[b] = [self._workers[b][keep_from]] + self._workers[b][
                     keep_from + 1:
                 ]
+                if len(self._times[b]) == 1:
+                    self._deep.discard(b)
 
     def snapshot(self) -> BinnedConfiguration:
         """The latest integrated configuration."""

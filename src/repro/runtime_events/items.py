@@ -83,3 +83,37 @@ class ChannelPayload:
     channel: object
     time: object
     records: list
+
+
+@dataclass(slots=True)
+class DestinationBatch:
+    """Records pre-grouped for one destination worker.
+
+    Megaphone's F operator routes a whole input batch at once and emits one
+    ``DestinationBatch`` per destination instead of per-record
+    ``(dst, bin, tag, record)`` tuples: the exchange channel routes the
+    group with a single ``route`` call, the network ships it as one payload,
+    and S's inbox adopts the per-bin entry lists without regrouping.
+
+    ``bins`` maps ``bin_id -> [(tag, record), ...]`` preserving record
+    arrival order per bin; ``count`` is the total number of records, which
+    every layer that models per-record cost (CPU charge, wire bytes, trace
+    events) must use instead of ``len(records)``.
+    """
+
+    dst: int
+    count: int
+    bins: dict
+
+
+def batch_record_count(records: list) -> int:
+    """Number of underlying records in a batch.
+
+    Grouped carriers (``DestinationBatch``) report the records they carry;
+    plain batches report their length.  Cost models and wire-size
+    derivations must go through this so grouped and per-record paths charge
+    identically.
+    """
+    if records and type(records[0]) is DestinationBatch:
+        return sum(batch.count for batch in records)
+    return len(records)

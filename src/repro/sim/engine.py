@@ -14,7 +14,6 @@ and the Megaphone operators without any extra plumbing.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.runtime_events.bus import TraceBus
@@ -26,21 +25,38 @@ from repro.runtime_events.bus import TraceBus
 _COMPACT_MIN_CANCELLED = 64
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)`` so the heap pops them in deterministic
-    order.  ``cancelled`` events stay in the heap but are skipped when popped
-    (lazy deletion), which keeps cancellation O(1); the owning simulator
-    compacts the heap when cancelled entries outnumber live ones.
+    Heap entries are ``(time, seq, event)`` tuples, so ordering is decided
+    by C-level tuple comparison — ``seq`` is unique, so the comparison never
+    reaches the event object itself.  ``cancelled`` events stay in the heap
+    but are skipped when popped (lazy deletion), which keeps cancellation
+    O(1); the owning simulator compacts the heap when cancelled entries
+    outnumber live ones.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "owner")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+        owner: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
+        self.owner = owner
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, seq={self.seq!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
 
     def cancel(self) -> None:
         """Prevent this event from firing."""
@@ -65,7 +81,9 @@ class Simulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self.trace: TraceBus = TraceBus()
-        self._heap: list[Event] = []
+        # (time, seq, Event) triples: the heap orders by C-level tuple
+        # comparison without ever invoking Python comparison methods.
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._cancelled: int = 0
@@ -89,9 +107,10 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time!r}: simulated time is already {self.now!r}"
             )
-        self._seq += 1
-        event = Event(time=time, seq=self._seq, callback=callback, owner=self)
-        heapq.heappush(self._heap, event)
+        seq = self._seq + 1
+        self._seq = seq
+        event = Event(time, seq, callback, False, self)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def _note_cancelled(self) -> None:
@@ -108,27 +127,29 @@ class Simulator:
         Safe at any point: ``(time, seq)`` keys form a unique total order, so
         the rebuilt heap pops in exactly the same sequence as the old one.
         """
-        self._heap = [e for e in self._heap if not e.cancelled]
+        # In-place (slice assignment): ``run`` holds a local alias to the
+        # heap list across callbacks, so the list's identity must not change.
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None if the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
             self._cancelled -= 1
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when no events remain."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            time, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
                 self._cancelled -= 1
                 continue
-            self.now = event.time
+            self.now = time
             self._events_processed += 1
             event.callback()
             return True
@@ -141,17 +162,29 @@ class Simulator:
         When stopping at ``until``, the clock is advanced to ``until`` so a
         subsequent ``run`` resumes from there.
         """
+        # The drain loop is the single hottest function in the simulator, so
+        # it inlines ``peek_time`` + ``step`` to touch the heap once per
+        # event.  ``_compact`` rebuilds the heap in place, so the local alias
+        # stays valid across callbacks.
+        heap = self._heap
+        pop = heapq.heappop
         fired = 0
-        while True:
+        while heap:
             if max_events is not None and fired >= max_events:
                 return
-            next_time = self.peek_time()
-            if next_time is None:
-                if until is not None and until > self.now:
-                    self.now = until
-                return
-            if until is not None and next_time > until:
+            entry = heap[0]
+            if entry[2].cancelled:
+                pop(heap)
+                self._cancelled -= 1
+                continue
+            time = entry[0]
+            if until is not None and time > until:
                 self.now = until
                 return
-            self.step()
+            pop(heap)
+            self.now = time
+            self._events_processed += 1
+            entry[2].callback()
             fired += 1
+        if until is not None and until > self.now:
+            self.now = until

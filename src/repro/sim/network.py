@@ -53,6 +53,17 @@ class NetworkMessage:
 class Link:
     """A directed, bandwidth-limited channel between two processes."""
 
+    __slots__ = (
+        "_sim",
+        "bandwidth",
+        "latency",
+        "src_process",
+        "dst_process",
+        "chaos",
+        "_busy_until",
+        "queued_bytes",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -173,6 +184,11 @@ class Cluster:
             self.processes.append(process)
 
         self.chaos = None
+        # worker id -> hosting Process, resolved once (``process_of`` sits
+        # on the per-message hot path).
+        self._worker_process: list[Process] = [
+            self.processes[w // workers_per_process] for w in range(num_workers)
+        ]
         self._links: dict[tuple[int, int], Link] = {}
         for src in range(num_processes):
             for dst in range(num_processes):
@@ -193,7 +209,7 @@ class Cluster:
 
     def process_of(self, worker: int) -> Process:
         """Process hosting ``worker``."""
-        return self.processes[worker // self.workers_per_process]
+        return self._worker_process[worker]
 
     def link(self, src_process: int, dst_process: int) -> Link:
         """The directed link between two distinct processes."""

@@ -22,6 +22,8 @@ class Antichain:
     The empty antichain means "nothing can ever arrive" (a closed frontier).
     """
 
+    __slots__ = ("_elements",)
+
     def __init__(self, elements: Iterable[Timestamp] = ()) -> None:
         self._elements: list[Timestamp] = []
         for element in elements:
@@ -72,7 +74,14 @@ class Antichain:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Antichain):
             return NotImplemented
-        return sorted(map(repr, self._elements)) == sorted(map(repr, other._elements))
+        mine, theirs = self._elements, other._elements
+        if len(mine) != len(theirs):
+            return False
+        if not mine:
+            return True
+        if len(mine) == 1:
+            return mine[0] == theirs[0]
+        return sorted(map(repr, mine)) == sorted(map(repr, theirs))
 
     def __hash__(self) -> int:  # pragma: no cover - not used as dict key in hot paths
         return hash(tuple(sorted(map(repr, self._elements))))
@@ -90,6 +99,8 @@ class MutableAntichain:
     fail loudly.
     """
 
+    __slots__ = ("_counts", "_frontier")
+
     def __init__(self) -> None:
         self._counts: Counter = Counter()
         self._frontier: Optional[Antichain] = Antichain()
@@ -98,11 +109,15 @@ class MutableAntichain:
         """Adjust the count of ``time`` by ``delta``.
 
         Returns True when the frontier may have changed (callers may then
-        re-read ``frontier()``).
+        re-read ``frontier()``).  When the count merely moves between two
+        positive values the set of live timestamps — and therefore the
+        frontier — is unchanged, so the cached frontier is kept and False
+        is returned.
         """
         if delta == 0:
             return False
-        new_count = self._counts[time] + delta
+        old_count = self._counts[time]
+        new_count = old_count + delta
         if new_count < 0:
             raise ValueError(
                 f"count for {time!r} would become negative ({new_count}); "
@@ -112,6 +127,8 @@ class MutableAntichain:
             del self._counts[time]
         else:
             self._counts[time] = new_count
+            if old_count > 0:
+                return False
         self._frontier = None
         return True
 

@@ -301,7 +301,14 @@ class Runtime:
 
     def mark_progress(self) -> None:
         """Schedule a progress propagation step if updates are outstanding."""
-        if self._progress_scheduled or not self.tracker.has_updates:
+        if self._progress_scheduled:
+            return
+        tracker = self.tracker
+        # ``tracker.has_updates`` inlined: this guard runs several times per
+        # activation and the property call was measurable.
+        if not (
+            tracker._dirty or tracker._pending_inputs or tracker._pending_outputs
+        ):
             return
         self._progress_scheduled = True
         self.sim.schedule(0.0, self._progress_step)

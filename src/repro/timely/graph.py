@@ -54,6 +54,22 @@ class Broadcast(Pact):
         return "Broadcast()"
 
 
+class GroupedExchange(Pact):
+    """Records are destination-grouped batches that carry their own target.
+
+    Used by Megaphone's F→S data channel: each record is a
+    :class:`repro.runtime_events.items.DestinationBatch` whose ``dst`` field
+    names the receiving worker, so partitioning costs one attribute read per
+    *group* instead of one key hash per record.
+    """
+
+    def route(self, record: object, num_workers: int, src_worker: int) -> Sequence[int]:
+        return (record.dst % num_workers,)
+
+    def __repr__(self) -> str:
+        return "GroupedExchange()"
+
+
 @dataclass
 class ChannelDesc:
     """A directed edge from an operator output port to an input port."""

@@ -35,6 +35,9 @@ class PendingQueue:
         self._heap: list[tuple] = []
         self._seq = 0
 
+    def __len__(self) -> int:
+        return len(self._heap)
+
     def push(self, time: Timestamp, item: object) -> None:
         """Buffer ``item`` for replay at ``time``."""
         self._seq += 1

@@ -78,7 +78,18 @@ class ProgressTracker:
         for op in graph.operators:
             for port in range(op.n_inputs):
                 self._input_frontiers[(op.index, port)] = Antichain()
+        # Incremental propagation: only operators whose capabilities, input
+        # channels, or upstream output frontiers changed since the last pass
+        # need recomputation.  ``_channel_dst`` maps channel index -> dst op;
+        # ``_downstream`` maps op -> ops fed by its output channels.
+        self._channel_dst: list[int] = [ch.dst_op for ch in graph.channels]
+        downstream: list[list[int]] = [[] for _ in graph.operators]
+        for ch in graph.channels:
+            if ch.dst_op not in downstream[ch.src_op]:
+                downstream[ch.src_op].append(ch.dst_op)
+        self._downstream: list[list[int]] = downstream
         self._dirty = True
+        self._dirty_ops: set[int] = set(self._topo)
         self._pending_inputs: list[FrontierChange] = []
         self._pending_outputs: list[int] = []
 
@@ -88,16 +99,19 @@ class ProgressTracker:
         """Adjust operator ``op``'s capability count at ``time``."""
         if self._capabilities[op].update(time, delta):
             self._dirty = True
+            self._dirty_ops.add(op)
 
     def message_sent(self, channel: int, time: Timestamp, count: int = 1) -> None:
         """Record ``count`` batches sent on ``channel`` at ``time``."""
         if self._in_flight[channel].update(time, count):
             self._dirty = True
+            self._dirty_ops.add(self._channel_dst[channel])
 
     def message_consumed(self, channel: int, time: Timestamp, count: int = 1) -> None:
         """Record ``count`` batches consumed from ``channel`` at ``time``."""
         if self._in_flight[channel].update(time, -count):
             self._dirty = True
+            self._dirty_ops.add(self._channel_dst[channel])
 
     # -- frontier queries ----------------------------------------------------
 
@@ -128,18 +142,25 @@ class ProgressTracker:
     # -- propagation ---------------------------------------------------------
 
     def propagate(self) -> None:
-        """Recompute all frontiers if dirty; accumulate changes for draining.
+        """Recompute dirty frontiers; accumulate changes for draining.
 
-        Changes survive until ``drain_changes`` is called, so frontier
-        queries issued from inside operator callbacks never swallow change
-        notifications intended for the runtime.
+        Only operators touched by an accounting update — or fed by an
+        operator whose output frontier changed this pass — are recomputed;
+        every other operator's frontiers are provably unchanged.  Changes
+        survive until ``drain_changes`` is called, so frontier queries issued
+        from inside operator callbacks never swallow change notifications
+        intended for the runtime.
         """
         if not self._dirty:
             return
         self._dirty = False
+        dirty_ops = self._dirty_ops
+        self._dirty_ops = set()
         input_changes = self._pending_inputs
         output_changes = self._pending_outputs
         for op_index in self._topo:
+            if op_index not in dirty_ops:
+                continue
             desc = self._graph.operators[op_index]
             input_frontiers: list[Antichain] = []
             for port in range(desc.n_inputs):
@@ -164,7 +185,11 @@ class ProgressTracker:
                     output.insert(time)
             if output != self._output_frontiers[op_index]:
                 output_changes.append(op_index)
-            self._output_frontiers[op_index] = output
+                self._output_frontiers[op_index] = output
+                # A changed output frontier can move downstream input
+                # frontiers; those ops come later in topological order,
+                # so marking them here reaches them within this pass.
+                dirty_ops.update(self._downstream[op_index])
 
     def drain_changes(self) -> ProgressChanges:
         """Propagate and hand back all accumulated frontier changes."""

@@ -49,10 +49,17 @@ from repro.runtime_events.items import (
     MessageWork,
     RoutedSend,
     SourceWork,
+    batch_record_count,
 )
 from repro.sim.network import NetworkMessage
 from repro.timely.antichain import Antichain
-from repro.timely.graph import ChannelDesc, OperatorDesc
+from repro.timely.graph import (
+    Broadcast,
+    ChannelDesc,
+    GroupedExchange,
+    OperatorDesc,
+    Pipeline,
+)
 from repro.timely.timestamp import Timestamp, less_equal
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -72,6 +79,18 @@ class OpContext:
     One context exists per (worker, operator) pair and lives for the whole
     computation.
     """
+
+    __slots__ = (
+        "_runtime",
+        "_worker",
+        "_desc",
+        "_send_buffer",
+        "_notify_heap",
+        "_notify_pending",
+        "_held_capabilities",
+        "_current_batch_time",
+        "_extra_cost",
+    )
 
     def __init__(self, runtime: "Runtime", worker: "WorkerRuntime", desc: OperatorDesc):
         self._runtime = runtime
@@ -309,6 +328,24 @@ class OpContext:
 class WorkerRuntime:
     """One simulated worker thread executing all operator instances."""
 
+    __slots__ = (
+        "_runtime",
+        "worker_id",
+        "shared",
+        "contexts",
+        "logics",
+        "_on_input",
+        "_on_frontier",
+        "_on_notify",
+        "_input_cost",
+        "_work",
+        "_frontier_pending",
+        "_busy_until",
+        "_activation_scheduled",
+        "alive",
+        "chaos",
+    )
+
     def __init__(self, runtime: "Runtime", worker_id: int):
         self._runtime = runtime
         self.worker_id = worker_id
@@ -456,15 +493,21 @@ class WorkerRuntime:
         if self.chaos is not None:
             cost *= self.chaos.cost_multiplier(self.worker_id)
         self._busy_until = start + cost
-        if sends:
-            self._flush_sends(sends, emit_at=self._busy_until)
-        if deferred:
-            def _apply() -> None:
-                for fn in deferred:
-                    fn()
-                self._runtime.mark_progress()
+        # One completion event covers both the network hand-off and the
+        # deferred progress decrements (they fire back to back at
+        # ``busy_until`` anyway); this halves the hot path's event volume.
+        dispatch = self._flush_sends(sends) if sends else None
+        if dispatch is not None or deferred:
 
-            sim.schedule_at(self._busy_until, _apply)
+            def _complete() -> None:
+                if dispatch is not None:
+                    dispatch()
+                if deferred:
+                    for fn in deferred:
+                        fn()
+                    self._runtime.mark_progress()
+
+            sim.schedule_at(self._busy_until, _complete)
         if trace.wants_activation:
             trace.publish(
                 ActivationEnd(
@@ -481,6 +524,8 @@ class WorkerRuntime:
         self._runtime.mark_progress()
 
     def _deliver_frontiers(self, sends: list, deferred: list) -> float:
+        if not self._frontier_pending:
+            return 0.0
         cost = 0.0
         pending = sorted(self._frontier_pending)
         self._frontier_pending.clear()
@@ -570,7 +615,7 @@ class WorkerRuntime:
                         op=op_index,
                         channel=channel.index,
                         time=time,
-                        records=len(records),
+                        records=batch_record_count(records),
                         size_bytes=item.size_bytes,
                         at=self._runtime.sim.now,
                     )
@@ -589,36 +634,43 @@ class WorkerRuntime:
             sends.extend((ctx, item) for item in buffered)
         return cost
 
-    def _flush_sends(self, sends: list, emit_at: float) -> None:
-        """Partition buffered sends and hand them to the network at ``emit_at``.
+    def _flush_sends(self, sends: list) -> Optional[Callable[[], None]]:
+        """Partition buffered sends; return the network hand-off closure.
 
         In-flight counts are charged immediately (conservative frontier);
-        bytes travel starting at ``emit_at``.
+        the caller schedules the returned closure at the activation's
+        completion time, when the bytes start to travel.  Record counts —
+        CPU fractions, wire bytes, trace events — always reflect the
+        *underlying* records, so grouped carriers cost exactly what their
+        per-record equivalent would.
         """
         runtime = self._runtime
         cost_model = runtime.cluster.cost
         trace = runtime.sim.trace
+        wants_send = trace.wants_send
         outgoing: list[RoutedSend] = []
         for ctx, buffered in sends:
             records = buffered.records
             time = buffered.time
-            if trace.wants_send:
+            total_count = batch_record_count(records)
+            if wants_send:
                 trace.publish(
                     SendFlushed(
                         worker=self.worker_id,
                         op=ctx.op_index,
                         port=buffered.port,
                         time=time,
-                        records=len(records),
+                        records=total_count,
                         at=runtime.sim.now,
                     )
                 )
             for channel in runtime.channels_from(ctx.op_index, buffered.port):
                 parts = self._partition(channel, records)
                 for dst_worker, batch in parts.items():
-                    fraction = len(batch) / max(len(records), 1)
+                    batch_count = batch_record_count(batch)
+                    fraction = batch_count / max(total_count, 1)
                     if buffered.size_bytes is None:
-                        bytes_ = len(batch) * cost_model.message_bytes_per_record
+                        bytes_ = batch_count * cost_model.message_bytes_per_record
                     else:
                         # Explicit sizes (migrating state) are per-send,
                         # split proportionally if fanned out.
@@ -637,7 +689,7 @@ class WorkerRuntime:
             # In-flight counts now cover the batch: drop the send guard.
             runtime.tracker.capability_update(ctx.op_index, time, -1)
         if not outgoing:
-            return
+            return None
 
         def _dispatch() -> None:
             if not self.alive:
@@ -690,7 +742,7 @@ class WorkerRuntime:
                 payload.channel, payload.time, payload.records, message.size_bytes
             )
 
-        runtime.sim.schedule_at(emit_at, _dispatch)
+        return _dispatch
 
     # -- crash and restart (driven by the chaos injector) ----------------------
 
@@ -760,7 +812,25 @@ class WorkerRuntime:
     def _partition(self, channel: ChannelDesc, records: list) -> dict[int, list]:
         num_workers = self._runtime.num_workers
         pact = channel.pact
-        parts: dict[int, list] = {}
+        pact_type = type(pact)
+        # Fast paths for the pacts whose routing is known without consulting
+        # the records (Pipeline, Broadcast) or one attribute per *group*
+        # (GroupedExchange); the generic loop handles everything else.
+        if pact_type is Pipeline:
+            return {self.worker_id: records}
+        if pact_type is GroupedExchange:
+            parts: dict[int, list] = {}
+            for batch in records:
+                dst = batch.dst % num_workers
+                existing = parts.get(dst)
+                if existing is None:
+                    parts[dst] = [batch]
+                else:
+                    existing.append(batch)
+            return parts
+        if pact_type is Broadcast:
+            return {dst: list(records) for dst in range(num_workers)}
+        parts = {}
         route = pact.route
         for record in records:
             for dst in route(record, num_workers, self.worker_id):

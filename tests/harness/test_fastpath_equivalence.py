@@ -1,0 +1,86 @@
+"""Fast-path equivalence: optimized routing changes nothing observable.
+
+The destination-grouped fast path in F (flat ``current_owners`` reads,
+``DestinationBatch`` carriers) must be an implementation detail of *wall
+clock* only.  ``reference_routing=True`` pins the per-record memoized
+binary-search path; for every migration strategy the two runs must agree
+byte for byte on everything simulated time can see: the latency series,
+the migration results, the injected-record count, and even the number of
+simulation events fired.
+"""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, run_count_experiment
+
+STRATEGIES = ("all-at-once", "fluid", "batched", "optimized")
+
+
+def _config(strategy: str, reference_routing: bool) -> ExperimentConfig:
+    return ExperimentConfig(
+        num_workers=4,
+        workers_per_process=2,
+        num_bins=32,
+        rate=8_000.0,
+        duration_s=2.5,
+        granularity_ms=10,
+        migrate_at_s=(1.0,),
+        strategy=strategy,
+        batch_size=4,
+        seed=7,
+        domain=1 << 14,
+        variant="hash",
+        reference_routing=reference_routing,
+    )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fast_path_matches_reference(strategy):
+    fast = run_count_experiment(_config(strategy, reference_routing=False))
+    reference = run_count_experiment(_config(strategy, reference_routing=True))
+
+    # Identical latency series, window by window (dataclass equality
+    # compares every float exactly — no tolerance).
+    assert fast.timeline.series() == reference.timeline.series()
+    assert (
+        fast.timeline.overall.percentile(0.99)
+        == reference.timeline.overall.percentile(0.99)
+    )
+    assert fast.steady_max_latency() == reference.steady_max_latency()
+    assert fast.overall_max_latency() == reference.overall_max_latency()
+
+    # Identical migration outcomes.
+    assert len(fast.migrations) == len(reference.migrations)
+    for got, want in zip(fast.migrations, reference.migrations):
+        assert got.strategy == want.strategy
+        assert got.started_at == want.started_at
+        assert got.completed_at == want.completed_at
+        assert len(got.steps) == len(want.steps)
+
+    # Identical load and — the strongest check — an identical number of
+    # simulation events: the two paths schedule the exact same work.
+    assert fast.records_injected == reference.records_injected
+    assert fast.sim_events == reference.sim_events
+
+
+def test_fast_path_matches_reference_without_migrations():
+    """Steady state exercises the flat-owner read on every batch."""
+    base = dict(
+        num_workers=4,
+        workers_per_process=2,
+        num_bins=32,
+        rate=8_000.0,
+        duration_s=1.5,
+        granularity_ms=10,
+        migrate_at_s=(),
+        seed=3,
+        domain=1 << 14,
+        variant="hash",
+    )
+    fast = run_count_experiment(ExperimentConfig(**base, reference_routing=False))
+    reference = run_count_experiment(
+        ExperimentConfig(**base, reference_routing=True)
+    )
+    assert fast.timeline.series() == reference.timeline.series()
+    assert fast.records_injected == reference.records_injected
+    assert fast.sim_events == reference.sim_events

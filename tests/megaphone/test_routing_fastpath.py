@@ -1,0 +1,83 @@
+"""The routing table's steady-state fast-path bookkeeping.
+
+``current_owners``/``history_flat`` exist so F can route a record with one
+flat array read instead of a per-record binary search; ``compact`` folds
+settled history back into the base so the fast path re-arms after a
+migration.  These tests pin the invariant the fast path relies on: whenever
+``history_flat`` is True, ``worker_for(bin, t) == current_owners[bin]`` for
+every routable time ``t``.
+"""
+
+from repro.megaphone.control import BinnedConfiguration, ControlInst
+from repro.megaphone.routing import RoutingTable
+
+
+def _table(num_bins: int = 8, num_workers: int = 4) -> RoutingTable:
+    return RoutingTable(BinnedConfiguration.round_robin(num_bins, num_workers))
+
+
+def test_initially_flat_and_owners_mirror_assignment():
+    table = _table()
+    assert table.history_flat
+    for b in range(table.num_bins):
+        assert table.current_owners[b] == table.worker_for(b, 0)
+        assert table.current_owners[b] == table.current_owner(b)
+
+
+def test_integrate_deepens_history_and_updates_owners():
+    table = _table()
+    old = table.current_owners[3]
+    new = (old + 1) % 4
+    table.integrate(100, [ControlInst(bin=3, worker=new)])
+    assert not table.history_flat
+    assert table.current_owners[3] == new
+    # The history still answers for both sides of the reconfiguration time.
+    assert table.worker_for(3, 99) == old
+    assert table.worker_for(3, 100) == new
+    # Untouched bins keep flat single-entry histories.
+    assert table.worker_for(0, 100) == table.current_owners[0]
+
+
+def test_compact_restores_flatness_and_agrees_with_owners():
+    table = _table()
+    moves = [ControlInst(bin=b, worker=(b + 1) % 4) for b in range(4)]
+    table.integrate(100, moves)
+    assert not table.history_flat
+    table.compact(100)
+    assert table.history_flat
+    for b in range(table.num_bins):
+        for t in (100, 150, 10_000):
+            assert table.worker_for(b, t) == table.current_owners[b]
+
+
+def test_compact_keeps_entries_still_reachable():
+    table = _table()
+    table.integrate(100, [ControlInst(bin=1, worker=2)])
+    table.integrate(200, [ControlInst(bin=1, worker=3)])
+    # Times in (150, 200) can still be queried: the 200 entry must survive.
+    table.compact(150)
+    assert not table.history_flat
+    assert table.worker_for(1, 150) == 2
+    assert table.worker_for(1, 200) == 3
+    # Once 200 is settled too, the history folds down to a single base.
+    table.compact(200)
+    assert table.history_flat
+    assert table.worker_for(1, 0) == 3
+    assert table.current_owners[1] == 3
+
+
+def test_same_time_update_overwrites_without_deepening():
+    table = _table()
+    table.integrate(100, [ControlInst(bin=5, worker=1)])
+    table.integrate(100, [ControlInst(bin=5, worker=2)])
+    assert table.worker_for(5, 100) == 2
+    assert table.current_owners[5] == 2
+    table.compact(100)
+    assert table.history_flat
+
+
+def test_snapshot_matches_current_owners():
+    table = _table()
+    table.integrate(50, [ControlInst(bin=0, worker=3)])
+    snapshot = table.snapshot()
+    assert list(snapshot.assignment) == table.current_owners

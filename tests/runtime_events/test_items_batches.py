@@ -1,0 +1,23 @@
+"""``DestinationBatch`` carriers and ``batch_record_count`` accounting."""
+
+from repro.runtime_events.items import DestinationBatch, batch_record_count
+
+
+def test_plain_lists_count_by_len():
+    assert batch_record_count([]) == 0
+    assert batch_record_count([("k", 1), ("k", 2)]) == 2
+
+
+def test_grouped_batches_count_underlying_records():
+    batches = [
+        DestinationBatch(dst=0, count=3, bins={1: [(0, "a"), (0, "b")], 2: [(0, "c")]}),
+        DestinationBatch(dst=2, count=1, bins={5: [(0, "d")]}),
+    ]
+    assert batch_record_count(batches) == 4
+
+
+def test_count_field_is_authoritative_for_costing():
+    # The carrier's count — not the number of carriers — is what cost
+    # models must see; one carrier can hold arbitrarily many records.
+    batch = DestinationBatch(dst=1, count=100, bins={})
+    assert batch_record_count([batch]) == 100

@@ -127,3 +127,76 @@ def test_chaos_command_reports_verdicts(capsys):
     for strategy in ("all-at-once", "fluid", "batched", "optimized"):
         assert strategy in out
     assert "Completion holds" in out
+
+
+def test_bench_command_writes_report(tmp_path, capsys):
+    out_path = tmp_path / "bench.json"
+    code = main(["bench", "--scale", "tiny", "--no-layers",
+                 "--output", str(out_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hot-path bench, scale tiny" in out
+    assert "hash_count" in out and "nexmark_q3" in out
+
+    import json
+
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == "bench-hotpath/1"
+    assert report["scale"] == "tiny"
+    for workload in ("hash_count", "nexmark_q3"):
+        numbers = report["workloads"][workload]
+        assert numbers["records"] > 0
+        assert numbers["records_per_s"] > 0
+        assert numbers["wall_seconds"] > 0
+        assert numbers["sim_events"] > 0
+    # Baseline comparison only applies at the full scale.
+    assert "speedup" not in report
+
+
+def test_bench_layer_breakdown_included_by_default(tmp_path):
+    out_path = tmp_path / "bench.json"
+    code = main(["bench", "--scale", "tiny", "--output", str(out_path)])
+    assert code == 0
+
+    import json
+
+    report = json.loads(out_path.read_text())
+    layers = report["layers"]["hash_count"]
+    assert layers, "layer breakdown should not be empty"
+    # Fractions describe a probability distribution over layers.
+    total = sum(entry["fraction"] for entry in layers.values())
+    assert 0.99 <= total <= 1.01
+    assert any(layer.startswith("repro.") for layer in layers)
+
+
+def test_bench_rejects_bad_scale_and_repeats(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bench", "--scale", "galactic"])
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "--scale", "tiny", "--repeats", "0"])
+    assert excinfo.value.code == 2
+    assert "--repeats must be positive" in capsys.readouterr().err
+
+
+def test_profile_flag_prints_cumulative_stats(tmp_path, capsys):
+    out_path = tmp_path / "bench.json"
+    code = main(["--profile", "bench", "--scale", "tiny", "--no-layers",
+                 "--output", str(out_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    # The cProfile table follows the command's normal report.
+    assert "hot-path bench" in out
+    assert "cumulative" in out
+    assert "ncalls" in out
+
+
+def test_profile_flag_wraps_other_commands(capsys):
+    code = main([
+        "--profile", "count", "--domain", "10000", "--rate", "2000",
+        "--duration", "1", "--workers", "2", "--workers-per-process", "2",
+        "--bins", "16", "--migrate-at", "0.5",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "steady-state max latency" in out
+    assert "ncalls" in out
