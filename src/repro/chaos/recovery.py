@@ -25,7 +25,6 @@ observable loss is the fault model's documented trade.
 
 from __future__ import annotations
 
-import copy
 from typing import Callable, Optional
 
 from repro.megaphone.bins import BinStore
@@ -100,13 +99,9 @@ class RecoveryCoordinator:
         for worker, bin_snapshots in sorted(per_worker.items()):
             store = self._store_of(worker, seed=self._op.config.initial)
             installed = 0
-            size = 0.0
+            size = 0
             for bin_snapshot in bin_snapshots:
-                if not store.has(bin_snapshot.bin_id):
-                    store.create(bin_snapshot.bin_id)
-                store.get(bin_snapshot.bin_id).state = copy.deepcopy(
-                    bin_snapshot.state
-                )
+                store.restore_state(bin_snapshot.bin_id, bin_snapshot.payload)
                 installed += 1
                 size += store.state_size(bin_snapshot.bin_id)
             self.restored_bins += installed
@@ -129,14 +124,12 @@ class RecoveryCoordinator:
             assigned = self._ledger.bins_of(worker)
             store = self._store_of(worker, seed=None)
             restored = 0
-            size = 0.0
+            size = 0
             for bin_id in assigned:
                 if not store.has(bin_id):
                     store.create(bin_id)
                 if snapshot is not None and bin_id in snapshot.bins:
-                    store.get(bin_id).state = copy.deepcopy(
-                        snapshot.bins[bin_id].state
-                    )
+                    store.restore_state(bin_id, snapshot.bins[bin_id].payload)
                     restored += 1
                     size += store.state_size(bin_id)
             self.recreated_stores += 1
@@ -169,6 +162,10 @@ class RecoveryCoordinator:
                 config.state_factory,
                 config.state_size_fn,
                 bytes_per_key=self._runtime.cluster.cost.state_bytes_per_key,
+                backend=config.state_backend,
+                codec=config.codec,
+                backend_options=config.backend_options,
+                worker_id=worker,
             )
             if seed is not None:
                 for bin_id in seed.bins_of(worker):

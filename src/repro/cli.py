@@ -50,6 +50,18 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--granularity-ms", type=int, default=10)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--state-backend", default="dict",
+        help="state backend holding bin state (see `repro.cli list`)",
+    )
+    parser.add_argument(
+        "--codec", default="modeled",
+        help="codec serializing migrated/snapshotted state",
+    )
+    parser.add_argument(
+        "--hot-capacity", type=float, default=None,
+        help="tiered backend: hot-tier capacity in bytes before spilling",
+    )
 
 
 def _validate_common(parser: argparse.ArgumentParser, args) -> None:
@@ -85,6 +97,29 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
                 "migration must start after the run begins and before the "
                 "input closes"
             )
+    _validate_backend_args(parser, args)
+    if args.hot_capacity is not None and args.hot_capacity <= 0:
+        parser.error(
+            f"--hot-capacity must be positive, got {args.hot_capacity}"
+        )
+
+
+def _validate_backend_args(parser: argparse.ArgumentParser, args) -> None:
+    """Registry-driven name checks: a backend registered via
+    ``repro.state.register_backend`` is accepted with no CLI edits, and an
+    unknown name exits listing what *is* registered."""
+    from repro.state import backend_names, codec_names
+
+    if args.state_backend not in backend_names():
+        parser.error(
+            f"unknown --state-backend {args.state_backend!r}; "
+            f"registered: {', '.join(backend_names())}"
+        )
+    if getattr(args, "codec", "modeled") not in codec_names():
+        parser.error(
+            f"unknown --codec {args.codec!r}; "
+            f"registered: {', '.join(codec_names())}"
+        )
 
 
 def _config_from(args, **extra) -> ExperimentConfig:
@@ -99,6 +134,11 @@ def _config_from(args, **extra) -> ExperimentConfig:
         strategy=args.strategy,
         batch_size=args.batch_size,
         seed=args.seed,
+        state_backend=args.state_backend,
+        codec=args.codec,
+        hot_capacity_bytes=(
+            int(args.hot_capacity) if args.hot_capacity is not None else None
+        ),
         **extra,
     )
 
@@ -256,7 +296,10 @@ def cmd_bench(args) -> int:
     from repro.perf.hotpath import run_bench, write_report
 
     report = run_bench(
-        args.scale, layers=not args.no_layers, repeats=args.repeats
+        args.scale,
+        layers=not args.no_layers,
+        repeats=args.repeats,
+        state_backend=args.state_backend,
     )
     rows = []
     for workload, numbers in report["workloads"].items():
@@ -291,9 +334,13 @@ def cmd_bench(args) -> int:
 
 
 def cmd_list(args) -> int:
-    """List available workloads and strategies."""
+    """List available workloads, strategies, backends, and codecs."""
+    from repro.state import backend_names, codec_names
+
     print("workloads: count (microbenchmark), nexmark (queries 1-8)")
     print(f"strategies: {', '.join(STRATEGIES)}")
+    print(f"state backends: {', '.join(backend_names())}")
+    print(f"codecs: {', '.join(codec_names())}")
     print("bench: python -m repro.cli bench --scale smoke|full  (hot-path throughput)")
     print("benchmarks: pytest benchmarks/ --benchmark-only  (one per paper figure)")
     return 0
@@ -397,6 +444,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-layers", action="store_true",
         help="skip the profiled per-layer CPU breakdown",
     )
+    bench.add_argument(
+        "--state-backend", default="dict",
+        help="state backend the benched operators run on",
+    )
     bench.set_defaults(fn=cmd_bench)
 
     lst = sub.add_parser("list", help="list workloads and strategies")
@@ -410,6 +461,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if hasattr(args, "workers"):
         _validate_common(parser, args)
+    elif hasattr(args, "state_backend"):
+        _validate_backend_args(parser, args)
     if hasattr(args, "repeats") and args.repeats is not None and args.repeats <= 0:
         parser.error(f"--repeats must be positive, got {args.repeats}")
     if not args.profile:

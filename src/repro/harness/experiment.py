@@ -67,6 +67,12 @@ class ExperimentConfig:
     network_latency_s: float = 40e-6
     sample_memory: bool = False
     memory_sample_s: float = 0.25
+    # State backend and codec (see repro.state).  "dict"/"modeled" is the
+    # seed-identical default; "tiered" + hot_capacity_bytes spills cold bins
+    # to a modeled cold tier (resident/spilled shows up in memory samples).
+    state_backend: str = "dict"
+    codec: str = "modeled"
+    hot_capacity_bytes: Optional[int] = None
     # Attach a MigrationTrace to the run's bus and expose it on the result
     # (per-bin phase breakdowns).  Observability only: a run is bit-identical
     # with or without it.
@@ -80,6 +86,11 @@ class ExperimentConfig:
     # Fault injection.  None (the default) leaves every chaos hook unwired —
     # the run is byte-identical to a build without the chaos subsystem.
     chaos: Optional[ChaosConfig] = None
+
+    def backend_options(self) -> dict:
+        """Backend-specific constructor options (None values are dropped
+        by the registry, so flat backends see an empty dict)."""
+        return {"hot_capacity_bytes": self.hot_capacity_bytes}
 
     def resolved_cost(self) -> CostModel:
         """The cost model, with the variant's per-record cost applied."""
@@ -363,13 +374,24 @@ class MigrationExperiment:
                     process.worker_ids[0]
                 )
                 if state_bytes_fn is not None and not dead:
-                    state = sum(state_bytes_fn(w) for w in process.worker_ids)
-                    process.memory.state_bytes = state
+                    resident = 0
+                    spilled = 0
+                    for w in process.worker_ids:
+                        measured = state_bytes_fn(w)
+                        # Backend-aware builders report (resident, spilled);
+                        # scalar returns mean everything is resident.
+                        if isinstance(measured, tuple):
+                            resident += measured[0]
+                            spilled += measured[1]
+                        else:
+                            resident += measured
+                    process.memory.set_state(resident, spilled)
                 trace.publish(
                     MemorySampled(
                         process=process.index,
                         rss_bytes=process.memory.rss_bytes,
                         at=sim.now,
+                        spilled_bytes=process.memory.spilled_state_bytes,
                     )
                 )
             if sim.now < cfg.duration_s + 1.0:
@@ -395,13 +417,18 @@ def _build_megaphone_count(df, control, data, cfg: ExperimentConfig):
         state_factory=workload.state_factory_for(cfg.num_bins),
         state_size_fn=lambda state: len(state) * cfg.bytes_per_key,
         reference_routing=cfg.reference_routing,
+        state_backend=cfg.state_backend,
+        codec=cfg.codec,
+        backend_options=cfg.backend_options(),
     )
 
-    def state_bytes_fn(worker: int) -> float:
+    def state_bytes_fn(worker: int) -> tuple:
         runtime = df._runtime
         shared = runtime.workers[worker].shared
         store = shared.get("megaphone:count")
-        return store.total_state_size() if store is not None else 0.0
+        if store is None:
+            return (0, 0)
+        return (store.resident_state_size(), store.spilled_state_size())
 
     return op.output, op, state_bytes_fn
 

@@ -53,6 +53,9 @@ def state_machine(
     state_factory: Callable[[], object] = dict,
     state_size_fn: Optional[Callable[[object], float]] = None,
     reference_routing: bool = False,
+    state_backend: str = "dict",
+    codec: str = "modeled",
+    backend_options: Optional[dict] = None,
 ) -> MigrateableOperator:
     """Migrateable per-record state machine over ``(key, val)`` pairs.
 
@@ -80,6 +83,9 @@ def state_machine(
         state_factory=state_factory,
         state_size_fn=state_size_fn,
         reference_routing=reference_routing,
+        state_backend=state_backend,
+        codec=codec,
+        backend_options=backend_options,
     )
 
 
@@ -94,6 +100,9 @@ def unary(
     state_factory: Callable[[], object] = dict,
     state_size_fn: Optional[Callable[[object], float]] = None,
     reference_routing: bool = False,
+    state_backend: str = "dict",
+    codec: str = "modeled",
+    backend_options: Optional[dict] = None,
 ) -> MigrateableOperator:
     """Migrateable single-input stateful operator.
 
@@ -116,6 +125,9 @@ def unary(
         state_factory=state_factory,
         state_size_fn=state_size_fn,
         reference_routing=reference_routing,
+        state_backend=state_backend,
+        codec=codec,
+        backend_options=backend_options,
     )
 
 
@@ -132,6 +144,9 @@ def binary(
     state_factory: Callable[[], object] = dict,
     state_size_fn: Optional[Callable[[object], float]] = None,
     reference_routing: bool = False,
+    state_backend: str = "dict",
+    codec: str = "modeled",
+    backend_options: Optional[dict] = None,
 ) -> MigrateableOperator:
     """Migrateable two-input stateful operator.
 
@@ -156,4 +171,7 @@ def binary(
         state_factory=state_factory,
         state_size_fn=state_size_fn,
         reference_routing=reference_routing,
+        state_backend=state_backend,
+        codec=codec,
+        backend_options=backend_options,
     )

@@ -9,32 +9,46 @@ pending (val, time) records").
 
 ``BinStore`` is the per-worker container shared between the F and S operator
 instances of one migrateable operator (the paper's shared pointer, possible
-because timely multiplexes all operators of a worker on one thread).
+because timely multiplexes all operators of a worker on one thread).  Where
+the state bytes actually live is a :class:`repro.state.StateBackend`
+decision: the store owns one backend, and every serialization — migration
+shipping, snapshots, crash recovery — goes through the backend's
+``extract_bin`` + codec path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.state.backend import (
+    BinNotResident,
+    BinPayload,
+    BinStats,
+    StateBackend,
+    default_state_size,
+)
+from repro.state.registry import DEFAULT_BACKEND, DEFAULT_CODEC, make_backend
 from repro.timely.notificator import PendingQueue
 
 
-def default_state_size(state: object, bytes_per_key: float) -> float:
-    """Modeled size of a bin's state: entries x bytes-per-key."""
-    try:
-        return len(state) * bytes_per_key  # type: ignore[arg-type]
-    except TypeError:
-        return bytes_per_key
-
-
-@dataclass
 class Bin:
-    """One bin: user state plus pending future records."""
+    """One bin: a view of its backend-held user state plus pending records."""
 
-    bin_id: int
-    state: object
-    pending: PendingQueue = field(default_factory=PendingQueue)
+    __slots__ = ("bin_id", "pending", "_backend")
+
+    def __init__(self, bin_id: int, backend: StateBackend) -> None:
+        self.bin_id = bin_id
+        self.pending = PendingQueue()
+        self._backend = backend
+
+    @property
+    def state(self) -> object:
+        """The bin's mutable user state (fetched from the backend)."""
+        return self._backend.state_of(self.bin_id)
+
+    @state.setter
+    def state(self, value: object) -> None:
+        self._backend.put_state(self.bin_id, value)
 
     def pending_len(self) -> int:
         """Number of buffered future records."""
@@ -50,62 +64,143 @@ class BinStore:
         state_factory: Callable[[], object],
         state_size_fn: Optional[Callable[[object], float]] = None,
         bytes_per_key: float = 8.0,
+        backend: str = DEFAULT_BACKEND,
+        codec: str = DEFAULT_CODEC,
+        backend_options: Optional[dict] = None,
+        worker_id: int = -1,
     ) -> None:
         self.num_bins = num_bins
+        self.worker_id = worker_id
         self._state_factory = state_factory
         self._bytes_per_key = bytes_per_key
         self._state_size_fn = state_size_fn
+        if state_size_fn is not None:
+            size_fn = lambda state: int(round(state_size_fn(state)))  # noqa: E731
+        else:
+            size_fn = lambda state: default_state_size(state, bytes_per_key)  # noqa: E731
+        self.backend = make_backend(
+            backend, state_factory, size_fn, codec=codec, options=backend_options
+        )
         self._bins: dict[int, Bin] = {}
+
+    @property
+    def codec(self):
+        """The codec every serialization of this store goes through."""
+        return self.backend.codec
 
     def create(self, bin_id: int) -> Bin:
         """Create an empty bin locally (initial placement)."""
         if bin_id in self._bins:
             raise ValueError(f"bin {bin_id} already present")
-        bin_ = Bin(bin_id=bin_id, state=self._state_factory())
+        self.backend.create_bin(bin_id)
+        bin_ = Bin(bin_id, self.backend)
         self._bins[bin_id] = bin_
         return bin_
 
     def get(self, bin_id: int) -> Bin:
-        """The locally resident bin ``bin_id`` (KeyError if absent)."""
-        return self._bins[bin_id]
+        """The locally resident bin ``bin_id`` (BinNotResident if absent)."""
+        try:
+            return self._bins[bin_id]
+        except KeyError:
+            raise BinNotResident(bin_id, self.worker_id, self._bins) from None
 
     def has(self, bin_id: int) -> bool:
         """Whether ``bin_id`` is resident on this worker."""
         return bin_id in self._bins
 
-    def take(self, bin_id: int) -> Bin:
-        """Remove and return ``bin_id`` for migration."""
-        return self._bins.pop(bin_id)
-
-    def install(self, bin_: Bin) -> None:
-        """Install a migrated bin."""
-        if bin_.bin_id in self._bins:
-            raise ValueError(f"bin {bin_.bin_id} already present")
-        self._bins[bin_.bin_id] = bin_
-
     def resident_bins(self) -> list[int]:
         """Ids of bins currently on this worker."""
         return list(self._bins)
 
-    def state_size(self, bin_id: int) -> float:
-        """Modeled bytes of one bin's state (including pending records)."""
-        bin_ = self._bins[bin_id]
-        if self._state_size_fn is not None:
-            size = self._state_size_fn(bin_.state)
-        else:
-            size = default_state_size(bin_.state, self._bytes_per_key)
-        return size + bin_.pending_len() * self._bytes_per_key
+    # -- the single serialization path ------------------------------------------
 
-    def total_state_size(self) -> float:
-        """Modeled bytes of all resident bins."""
+    def extract(self, bin_id: int, *, remove: bool = True) -> BinPayload:
+        """Serialize ``bin_id`` (state through the codec, pending attached).
+
+        ``remove=True`` uninstalls the bin (migration/extraction);
+        ``remove=False`` captures a consistent copy (snapshots) without
+        disturbing the resident bin or its pending queue.
+        """
+        bin_ = self.get(bin_id)
+        payload = self.backend.extract_bin(bin_id, remove=remove)
+        if remove:
+            del self._bins[bin_id]
+            payload.pending = bin_.pending.drain()
+        else:
+            entries = bin_.pending.drain()
+            bin_.pending.extend(entries)
+            payload.pending = [(time, entry) for time, entry in entries]
+        payload.size_bytes = payload.state_bytes + int(
+            round(len(payload.pending) * self._bytes_per_key)
+        )
+        return payload
+
+    def take(self, bin_id: int) -> BinPayload:
+        """Remove and return ``bin_id``'s payload for migration
+        (BinNotResident if absent)."""
+        return self.extract(bin_id, remove=True)
+
+    def install(self, payload: BinPayload, *, replace: bool = False) -> Bin:
+        """Install a payload produced by :meth:`extract` (migration arrival,
+        snapshot restore, crash recovery — one path for all three)."""
+        self.backend.install_bin(payload, replace=replace)
+        bin_ = self._bins.get(payload.bin_id)
+        if bin_ is None:
+            bin_ = Bin(payload.bin_id, self.backend)
+            self._bins[payload.bin_id] = bin_
+        bin_.pending.extend(payload.pending)
+        return bin_
+
+    def restore_state(self, bin_id: int, payload: BinPayload) -> Bin:
+        """Overwrite ``bin_id``'s state from a snapshot payload, leaving the
+        resident pending queue untouched (the crash-recovery contract)."""
+        if bin_id not in self._bins:
+            self.create(bin_id)
+        bin_ = self._bins[bin_id]
+        # Copy on decode: the snapshot payload outlives this install and may
+        # be restored again (repeated crashes), so never alias it.
+        self.backend.put_state(bin_id, payload.decode_state(copy=True))
+        return bin_
+
+    # -- byte accounting --------------------------------------------------------
+
+    def state_size(self, bin_id: int) -> int:
+        """Modeled bytes of one bin's state (including pending records)."""
+        bin_ = self.get(bin_id)
+        size = self.backend.state_bytes(bin_id)
+        return size + int(round(bin_.pending_len() * self._bytes_per_key))
+
+    def total_state_size(self) -> int:
+        """Modeled bytes of all resident bins (hot and spilled tiers)."""
         return sum(self.state_size(b) for b in self._bins)
+
+    def resident_state_size(self) -> int:
+        """Modeled bytes occupying RAM: hot-tier state plus pending records."""
+        pending = sum(
+            int(round(b.pending_len() * self._bytes_per_key))
+            for b in self._bins.values()
+        )
+        return self.backend.resident_bytes() + pending
+
+    def spilled_state_size(self) -> int:
+        """Modeled bytes the backend holds on the cold tier (0 when flat)."""
+        return self.backend.spilled_bytes()
 
     def total_keys(self) -> int:
         """Total entries across resident bins (len-able states only)."""
-        total = 0
-        for bin_ in self._bins.values():
-            try:
-                total += len(bin_.state)  # type: ignore[arg-type]
-            except TypeError:
-                pass
-        return total
+        return sum(self.backend.bin_stats(b).keys for b in self._bins)
+
+    # -- statistics -------------------------------------------------------------
+
+    def bin_stats(self, bin_id: int) -> BinStats:
+        """Per-bin key/heat/residency metadata from the backend."""
+        return self.backend.bin_stats(bin_id)
+
+    def stats(self) -> dict[int, BinStats]:
+        """Stats for every resident bin."""
+        return {b: self.backend.bin_stats(b) for b in self._bins}
+
+    def note_applied(self, bin_id: int) -> None:
+        """Tell the backend an applier just mutated ``bin_id`` (compaction
+        and spill policies hook here; flat backends no-op)."""
+        self.backend.note_applied(bin_id)

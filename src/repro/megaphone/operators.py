@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.megaphone.bins import Bin, BinStore
+from repro.state.registry import DEFAULT_BACKEND, DEFAULT_CODEC, resolve_codec
 from repro.runtime_events.events import (
     BinMigrationPlanned,
     BinRecreated,
@@ -338,6 +339,7 @@ class _FLogic:
         memory = ctx.memory
         trace = ctx.trace
         wants_migration = trace.wants_migration
+        codec = self._config.codec_obj
         for bin_id, _src, dst in moves:
             if self._config.recovery_mode and not store.has(bin_id):
                 # The bin is not here to extract — it died with a crashed
@@ -345,9 +347,9 @@ class _FLogic:
                 # worker already shipped.  The destination's S will
                 # recreate it empty on first use.
                 continue
-            size = store.state_size(bin_id)
-            bin_ = store.take(bin_id)
-            serialize_s = cost.serialize_cost(size)
+            payload = store.extract(bin_id)
+            size = payload.size_bytes
+            serialize_s = codec.encode_cost(cost, size)
             ctx.charge(serialize_s)
             # The extracted original stays resident until the network has
             # drained the serialized copy (paper §5.3.5: the all-at-once
@@ -371,7 +373,7 @@ class _FLogic:
             ctx.send(
                 1,
                 time,
-                [(dst, bin_, size)],
+                [(dst, payload, size)],
                 size_bytes=size,
                 retained_bytes=size,
             )
@@ -395,7 +397,7 @@ class _SLogic:
 
     def input_cost(self, ctx, port: int, records: list, size_bytes: float) -> float:
         if port == S_STATE_PORT:
-            return ctx.cost.deserialize_cost(size_bytes)
+            return self._config.codec_obj.decode_cost(ctx.cost, size_bytes)
         # Buffering only; the application cost is charged at notification.
         return batch_record_count(records) * ctx.cost.progress_update_cost
 
@@ -422,8 +424,9 @@ class _SLogic:
     def _install_state(self, ctx, time: Timestamp, records: list) -> None:
         store = self._store(ctx)
         trace = ctx.trace
-        for dst, bin_, size in records:
-            store.install(bin_)
+        codec = self._config.codec_obj
+        for dst, payload, size in records:
+            bin_ = store.install(payload)
             if trace.wants_migration:
                 trace.publish(
                     BinStateInstalled(
@@ -432,7 +435,7 @@ class _SLogic:
                         bin=bin_.bin_id,
                         worker=ctx.worker_id,
                         size_bytes=size,
-                        deserialize_s=ctx.cost.deserialize_cost(size),
+                        deserialize_s=codec.decode_cost(ctx.cost, size),
                         at=ctx.now,
                     )
                 )
@@ -510,6 +513,9 @@ class _SLogic:
             for sched_time, entry in app.scheduled:
                 bin_.pending.push(sched_time, entry)
                 self._schedule_bin(ctx, sched_time, bin_id)
+            # Backends with maintenance policies (log compaction, tier
+            # spill) react to the mutation here; flat backends no-op.
+            store.note_applied(bin_id)
         ctx.charge(total * cost.record_cost)
         if outputs:
             ctx.send(0, time, outputs)
@@ -528,6 +534,9 @@ class MegaphoneConfig:
         state_factory: Callable[[], object],
         state_size_fn: Optional[Callable[[object], float]],
         reference_routing: bool = False,
+        state_backend: str = DEFAULT_BACKEND,
+        codec: str = DEFAULT_CODEC,
+        backend_options: Optional[dict] = None,
     ) -> None:
         self.name = name
         self.num_bins = num_bins
@@ -536,6 +545,12 @@ class MegaphoneConfig:
         self.applier = applier
         self.state_factory = state_factory
         self.state_size_fn = state_size_fn
+        # Backend selection is per-operator; stores on every worker share
+        # the names, each worker constructs its own backend instance.
+        self.state_backend = state_backend
+        self.codec = codec
+        self.backend_options = dict(backend_options) if backend_options else {}
+        self.codec_obj = resolve_codec(codec)
         self.probe = MigrationProbe()
         self.s_op: int = -1  # wired by the builder
         # When True (set by fault-injection harnesses) the pair tolerates
@@ -582,6 +597,10 @@ class MegaphoneConfig:
                 self.state_factory,
                 self.state_size_fn,
                 bytes_per_key=ctx.cost.state_bytes_per_key,
+                backend=self.state_backend,
+                codec=self.codec,
+                backend_options=self.backend_options,
+                worker_id=ctx.worker_id,
             )
             for bin_id in self.initial.bins_of(ctx.worker_id):
                 store.create(bin_id)
@@ -631,12 +650,16 @@ def build_migrateable(
     state_factory: Callable[[], object] = dict,
     state_size_fn: Optional[Callable[[object], float]] = None,
     reference_routing: bool = False,
+    state_backend: str = DEFAULT_BACKEND,
+    codec: str = DEFAULT_CODEC,
+    backend_options: Optional[dict] = None,
 ) -> MigrateableOperator:
     """Assemble the F/S pair for a migrateable operator.
 
     ``data_streams`` and ``key_fns`` run in parallel: one exchange function
     per data input (paper Listing 1).  Returns a handle whose ``output`` is
-    the operator's output stream.
+    the operator's output stream.  ``state_backend``/``codec`` name the
+    registered state representation and serialized form (``repro.state``).
     """
     if len(data_streams) != len(key_fns):
         raise ValueError("one key function per data stream is required")
@@ -656,6 +679,9 @@ def build_migrateable(
         state_factory=state_factory,
         state_size_fn=state_size_fn,
         reference_routing=reference_routing,
+        state_backend=state_backend,
+        codec=codec,
+        backend_options=backend_options,
     )
 
     f_inputs = [(control, Broadcast())]

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.megaphone.control import splitmix64
+from repro.state.backend import default_state_size
+from repro.state.registry import DEFAULT_BACKEND, DEFAULT_CODEC, make_backend
 
 HASH_BITS = 64
 
@@ -171,65 +173,91 @@ class SplittableBinStore:
 
     ``key_hash_fn`` maps a state key to its 64-bit hash (the same hash the
     router uses), so a split can deal each entry to the correct child.
+
+    State lives behind a :class:`repro.state.StateBackend` (prefixes are
+    just hashable bin ids), so prefix-binned operators get the same backend
+    menu — dict, sorted-log, tiered — as statically binned ones.  Split and
+    merge iterate and rebuild through the backend's key-level interface.
     """
 
-    def __init__(self, key_hash_fn: Callable[[object], int]) -> None:
+    def __init__(
+        self,
+        key_hash_fn: Callable[[object], int],
+        backend: str = DEFAULT_BACKEND,
+        codec: str = DEFAULT_CODEC,
+        backend_options: Optional[dict] = None,
+        bytes_per_key: float = 8.0,
+    ) -> None:
         self._key_hash_fn = key_hash_fn
-        self._states: dict[Prefix, dict] = {}
+        self._backend = make_backend(
+            backend,
+            dict,
+            lambda state: default_state_size(state, bytes_per_key),
+            codec=codec,
+            options=backend_options,
+        )
+
+    @property
+    def backend(self):
+        """The state backend holding the leaves' entries."""
+        return self._backend
 
     def create(self, prefix: Prefix) -> dict:
         """Create an empty state for a new leaf."""
-        if prefix in self._states:
+        if self._backend.has_bin(prefix):
             raise ValueError(f"{prefix} already present")
-        state: dict = {}
-        self._states[prefix] = state
-        return state
+        return self._backend.create_bin(prefix)
 
     def get(self, prefix: Prefix) -> dict:
-        return self._states[prefix]
+        return self._backend.state_of(prefix)
 
     def has(self, prefix: Prefix) -> bool:
-        return prefix in self._states
+        return self._backend.has_bin(prefix)
 
     def take(self, prefix: Prefix) -> dict:
         """Remove a leaf's state (for migration)."""
-        return self._states.pop(prefix)
+        payload = self._backend.extract_bin(prefix, remove=True)
+        return payload.decode_state()
 
     def install(self, prefix: Prefix, state: dict) -> None:
         """Install a migrated leaf's state."""
-        if prefix in self._states:
+        if self._backend.has_bin(prefix):
             raise ValueError(f"{prefix} already present")
-        self._states[prefix] = state
+        self._backend.create_bin(prefix)
+        self._backend.put_state(prefix, state)
 
     def prefixes(self) -> list[Prefix]:
-        return sorted(self._states)
+        return sorted(self._backend.bin_ids())
+
+    def state_bytes(self, prefix: Prefix) -> int:
+        """Modeled bytes of one leaf's state."""
+        return self._backend.state_bytes(prefix)
 
     def split(self, prefix: Prefix) -> tuple[Prefix, Prefix]:
         """Split a leaf's state by the next hash bit."""
-        state = self._states.pop(prefix)
+        entries = list(self._backend.items(prefix))
+        self._backend.drop_bin(prefix)
         left, right = prefix.children()
-        left_state: dict = {}
-        right_state: dict = {}
-        for key, value in state.items():
-            if left.contains_hash(self._key_hash_fn(key)):
-                left_state[key] = value
-            else:
-                right_state[key] = value
-        self._states[left] = left_state
-        self._states[right] = right_state
+        self._backend.create_bin(left)
+        self._backend.create_bin(right)
+        for key, value in entries:
+            child = left if left.contains_hash(self._key_hash_fn(key)) else right
+            self._backend.put(child, key, value)
         return left, right
 
     def merge(self, prefix: Prefix) -> Prefix:
         """Merge two sibling leaves' state back into the parent."""
         left, right = prefix.children()
-        left_state = self._states.pop(left)
-        right_state = self._states.pop(right)
-        merged = dict(left_state)
-        overlap = merged.keys() & right_state.keys()
+        left_entries = list(self._backend.items(left))
+        right_entries = list(self._backend.items(right))
+        overlap = {k for k, _ in left_entries} & {k for k, _ in right_entries}
         if overlap:
             raise ValueError(f"sibling states overlap on keys: {sorted(overlap)[:3]}")
-        merged.update(right_state)
-        self._states[prefix] = merged
+        self._backend.drop_bin(left)
+        self._backend.drop_bin(right)
+        self._backend.create_bin(prefix)
+        for key, value in left_entries + right_entries:
+            self._backend.put(prefix, key, value)
         return prefix
 
 

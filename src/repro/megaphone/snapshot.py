@@ -4,7 +4,11 @@ Paper §4.4 (fault tolerance): "Megaphone's migration mechanisms effectively
 provide programmable snapshots on finer granularities, which could feed
 back into finer-grained fault-tolerance mechanisms."  A migration already
 produces a consistent, timestamp-aligned serialization of a bin — a
-snapshot is the same extraction without the move.
+snapshot is the same extraction without the move, and since the backend
+refactor it literally *is* the same code: every captured bin is a
+:class:`~repro.state.BinPayload` from ``StateBackend.extract_bin`` +
+codec, the one serialization path migration shipping and crash recovery
+also use.
 
 :class:`SnapshotCoordinator` waits (via the S output probe) until a chosen
 logical time has fully passed, then captures every bin's state and pending
@@ -19,21 +23,32 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.megaphone.bins import Bin
 from repro.megaphone.operators import MigrateableOperator
+from repro.state.backend import BinPayload
+from repro.state.registry import resolve_codec
 from repro.timely.dataflow import Runtime
 from repro.timely.timestamp import Timestamp
 
 
 @dataclass
 class BinSnapshot:
-    """One bin's frozen state."""
+    """One bin's frozen, codec-serialized state."""
 
     bin_id: int
     worker: int
-    state: object
-    pending: list  # [(time, entry)]
-    size_bytes: float
+    payload: BinPayload
+    size_bytes: int = 0
+
+    @property
+    def state(self) -> object:
+        """The captured state, decoded (a fresh object per call)."""
+        codec = resolve_codec(self.payload.codec)
+        return codec.copy(codec.decode(self.payload.payload))
+
+    @property
+    def pending(self) -> list:
+        """The captured pending ``(time, entry)`` records."""
+        return list(self.payload.pending)
 
 
 @dataclass
@@ -53,7 +68,7 @@ class OperatorSnapshot:
     bins: dict[int, BinSnapshot] = field(default_factory=dict)
 
     @property
-    def total_bytes(self) -> float:
+    def total_bytes(self) -> int:
         return sum(b.size_bytes for b in self.bins.values())
 
     def assignment(self) -> dict[int, int]:
@@ -66,8 +81,8 @@ class SnapshotCoordinator:
 
     The trigger is the same condition F uses to start a migration: when
     ``time`` can no longer appear in the S output frontier, every update
-    before it has been applied, so copying the bins yields a consistent
-    cut at ``time``.
+    before it has been applied, so extracting the bins (without removal)
+    yields a consistent cut at ``time``.
     """
 
     def __init__(
@@ -103,16 +118,12 @@ class SnapshotCoordinator:
             if store is None:
                 continue
             for bin_id in store.resident_bins():
-                bin_ = store.get(bin_id)
+                payload = store.extract(bin_id, remove=False)
                 snapshot.bins[bin_id] = BinSnapshot(
                     bin_id=bin_id,
                     worker=worker,
-                    state=copy.deepcopy(bin_.state),
-                    pending=[
-                        (time, copy.deepcopy(entry))
-                        for time, entry in _peek_pending(bin_)
-                    ],
-                    size_bytes=store.state_size(bin_id),
+                    payload=payload,
+                    size_bytes=payload.size_bytes,
                 )
         self.snapshot = snapshot
         if self._on_complete is not None:
@@ -135,9 +146,12 @@ def snapshot_to_bytes(snapshot: OperatorSnapshot) -> bytes:
             {
                 "bin_id": b.bin_id,
                 "worker": b.worker,
-                "state": b.state,
-                "pending": list(b.pending),
+                "codec": b.payload.codec,
+                "payload": b.payload.payload,
+                "pending": list(b.payload.pending),
+                "state_bytes": b.payload.state_bytes,
                 "size_bytes": b.size_bytes,
+                "keys": b.payload.keys,
             }
             for _, b in sorted(snapshot.bins.items())
         ],
@@ -158,18 +172,18 @@ def snapshot_from_bytes(data: bytes) -> OperatorSnapshot:
         snapshot.bins[raw["bin_id"]] = BinSnapshot(
             bin_id=raw["bin_id"],
             worker=raw["worker"],
-            state=raw["state"],
-            pending=list(raw["pending"]),
+            payload=BinPayload(
+                bin_id=raw["bin_id"],
+                codec=raw["codec"],
+                payload=raw["payload"],
+                pending=list(raw["pending"]),
+                state_bytes=raw["state_bytes"],
+                size_bytes=raw["size_bytes"],
+                keys=raw["keys"],
+            ),
             size_bytes=raw["size_bytes"],
         )
     return snapshot
-
-
-def _peek_pending(bin_: Bin) -> list:
-    """Read a bin's pending entries without disturbing the queue."""
-    entries = bin_.pending.drain()
-    bin_.pending.extend(entries)
-    return entries
 
 
 def restore_into(
@@ -195,18 +209,20 @@ def restore_into(
                 op.config.state_factory,
                 op.config.state_size_fn,
                 bytes_per_key=runtime.cluster.cost.state_bytes_per_key,
+                backend=op.config.state_backend,
+                codec=op.config.codec,
+                backend_options=op.config.backend_options,
+                worker_id=bin_snapshot.worker,
             )
             for bin_id in op.config.initial.bins_of(bin_snapshot.worker):
                 store.create(bin_id)
             shared[key] = store
-        if store.has(bin_snapshot.bin_id):
-            bin_ = store.get(bin_snapshot.bin_id)
-        else:
+        if not store.has(bin_snapshot.bin_id):
             raise ValueError(
                 f"bin {bin_snapshot.bin_id} is not placed on worker "
                 f"{bin_snapshot.worker} in the target configuration"
             )
-        bin_.state = copy.deepcopy(bin_snapshot.state)
+        bin_ = store.restore_state(bin_snapshot.bin_id, bin_snapshot.payload)
         bin_.pending.extend(copy.deepcopy(bin_snapshot.pending))
         # Re-register notifications for the restored pending work, exactly
         # as S does when a migrated bin arrives.

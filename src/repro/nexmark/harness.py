@@ -47,17 +47,22 @@ def run_nexmark_experiment(
             op = None
         else:
             out, op = module.megaphone(
-                control, streams, nexmark, config.num_bins
+                control, streams, nexmark, config.num_bins,
+                state_backend=config.state_backend,
+                codec=config.codec,
+                backend_options=config.backend_options(),
             )
 
         state_bytes_fn = None
         if op is not None:
             name = op.config.name
 
-            def state_bytes_fn(worker: int, _name=name) -> float:
+            def state_bytes_fn(worker: int, _name=name) -> tuple:
                 runtime = df._runtime
                 store = runtime.workers[worker].shared.get(f"megaphone:{_name}")
-                return store.total_state_size() if store is not None else 0.0
+                if store is None:
+                    return (0, 0)
+                return (store.resident_state_size(), store.spilled_state_size())
 
         return out, op, state_bytes_fn
 

@@ -146,7 +146,9 @@ def closed_auctions_fold(time, auctions, bids, state, notificator):
     return out
 
 
-def closed_auctions_megaphone(control, streams, cfg, num_bins, initial=None):
+def closed_auctions_megaphone(
+    control, streams, cfg, num_bins, initial=None, **state_opts
+):
     """The migrateable winning-bid subplan."""
     from repro.megaphone.api import binary
 
@@ -161,4 +163,5 @@ def closed_auctions_megaphone(control, streams, cfg, num_bins, initial=None):
         initial=initial,
         name="closed_auctions",
         state_size_fn=lambda s: 48.0 * cfg.state_bytes_scale * len(s),
+        **state_opts,
     )

@@ -30,7 +30,7 @@ def native(streams: NexmarkStreams, cfg: NexmarkConfig):
 
 
 def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
-              num_bins: int, initial=None):
+              num_bins: int, initial=None, **state_opts):
     """Megaphone Q1: the same map expressed as a (stateless) stateful op."""
     from repro.megaphone.api import unary
 
@@ -41,5 +41,6 @@ def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
         control, streams.bids,
         exchange=lambda b: b.auction,
         fold=fold, num_bins=num_bins, initial=initial, name="q1",
+        **state_opts,
     )
     return op.output, op

@@ -19,7 +19,7 @@ def native(streams: NexmarkStreams, cfg: NexmarkConfig):
 
 
 def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
-              num_bins: int, initial=None):
+              num_bins: int, initial=None, **state_opts):
     """Megaphone Q2."""
     from repro.megaphone.api import unary
 
@@ -30,5 +30,6 @@ def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
         control, streams.bids,
         exchange=lambda b: b.auction,
         fold=fold, num_bins=num_bins, initial=initial, name="q2",
+        **state_opts,
     )
     return op.output, op

@@ -55,7 +55,7 @@ def native(streams: NexmarkStreams, cfg: NexmarkConfig):
 
 
 def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
-              num_bins: int, initial=None):
+              num_bins: int, initial=None, **state_opts):
     """Megaphone Q3: the join as one migrateable binary operator."""
     from repro.megaphone.api import binary
 
@@ -85,5 +85,6 @@ def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
         fold=fold, num_bins=num_bins, initial=initial, name="q3",
         state_size_fn=lambda s: 64.0 * cfg.state_bytes_scale
         * (len(s.get("p", ())) + len(s.get("a", ()))),
+        **state_opts,
     )
     return op.output, op

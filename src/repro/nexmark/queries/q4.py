@@ -44,14 +44,16 @@ def native(streams: NexmarkStreams, cfg: NexmarkConfig):
 
 
 def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
-              num_bins: int, initial=None):
+              num_bins: int, initial=None, **state_opts):
     """Megaphone Q4: migrateable winning-bid subplan + category average.
 
     The migrated operator is the auction-keyed accumulator (the query's
     main state holder); the small category average stays native, as in the
     paper where only the main operator of each dataflow migrates.
     """
-    op = closed_auctions_megaphone(control, streams, cfg, num_bins, initial)
+    op = closed_auctions_megaphone(
+        control, streams, cfg, num_bins, initial, **state_opts
+    )
     out = op.output.unary(
         "q4_avg",
         lambda worker_id: _NativeCategoryAverageLogic(worker_id),

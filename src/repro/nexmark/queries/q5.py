@@ -108,7 +108,7 @@ def native(streams: NexmarkStreams, cfg: NexmarkConfig):
 
 
 def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
-              num_bins: int, initial=None):
+              num_bins: int, initial=None, **state_opts):
     """Megaphone Q5: the windowed counter is the migrateable operator."""
     from repro.megaphone.api import unary
 
@@ -157,6 +157,7 @@ def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
         state_size_fn=lambda s: 16.0 * cfg.state_bytes_scale * sum(
             len(b) for b in s.get("counts", {}).values()
         ),
+        **state_opts,
     )
     out = op.output.unary(
         "q5_max",

@@ -61,9 +61,11 @@ def native(streams: NexmarkStreams, cfg: NexmarkConfig):
 
 
 def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
-              num_bins: int, initial=None):
+              num_bins: int, initial=None, **state_opts):
     """Megaphone Q6: migrateable subplan + native trailing average."""
-    op = closed_auctions_megaphone(control, streams, cfg, num_bins, initial)
+    op = closed_auctions_megaphone(
+        control, streams, cfg, num_bins, initial, **state_opts
+    )
     out = op.output.unary(
         "q6_avg",
         lambda worker_id: _NativeSellerAverageLogic(worker_id),

@@ -80,7 +80,7 @@ def native(streams: NexmarkStreams, cfg: NexmarkConfig):
 
 
 def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
-              num_bins: int, initial=None):
+              num_bins: int, initial=None, **state_opts):
     """Megaphone Q7: the local maximum is the migrateable operator."""
     from repro.megaphone.api import unary
 
@@ -106,6 +106,7 @@ def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
         exchange=lambda b: b.auction,
         fold=fold, num_bins=num_bins, initial=initial, name="q7",
         state_size_fn=lambda s: 24.0 * cfg.state_bytes_scale * len(s),
+        **state_opts,
     )
     out = op.output.unary(
         "q7_max",

@@ -67,7 +67,7 @@ def native(streams: NexmarkStreams, cfg: NexmarkConfig):
 
 
 def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
-              num_bins: int, initial=None):
+              num_bins: int, initial=None, **state_opts):
     """Megaphone Q8: the windowed join as one migrateable binary operator."""
     from repro.megaphone.api import binary
 
@@ -105,5 +105,6 @@ def megaphone(control, streams: NexmarkStreams, cfg: NexmarkConfig,
         state_size_fn=lambda s: 32.0 * cfg.state_bytes_scale * sum(
             len(people) + len(emitted) for people, emitted in s.values()
         ),
+        **state_opts,
     )
     return op.output, op

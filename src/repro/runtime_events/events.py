@@ -247,12 +247,18 @@ class BinStateInstalled:
 
 @dataclass(frozen=True, slots=True)
 class MemorySampled:
-    """One periodic sample of a process's modeled RSS."""
+    """One periodic sample of a process's modeled RSS.
+
+    ``spilled_bytes`` is cold-tier state reported by spilling backends —
+    not part of ``rss_bytes`` (spilled state left RAM), but sampled at the
+    same instant so timelines can plot the resident/spilled breakdown.
+    """
 
     topic: ClassVar[str] = TOPIC_MEMORY
     process: int
     rss_bytes: float
     at: float
+    spilled_bytes: float = 0
 
 
 # -- injected faults ------------------------------------------------------------

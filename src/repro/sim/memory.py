@@ -10,6 +10,14 @@ model: each process's modeled RSS is
 updated by the components that own each term (bins update state bytes, the
 cluster updates send-queue bytes, operator S updates receive buffers while
 installing state).
+
+All pools are *integer* bytes: every delta is coerced at the pool boundary,
+so fractional modeled sizes cannot accumulate drift, and a negative balance
+is unambiguously an accounting bug (a double release or missed charge)
+rather than float noise.  Tiered state backends additionally report
+``spilled_state_bytes`` — cold-tier bytes that are *not* part of RSS but
+ride along in every sample so Fig.-20-style plots can show the
+resident/spilled breakdown.
 """
 
 from __future__ import annotations
@@ -19,8 +27,13 @@ from dataclasses import dataclass, field
 from repro.runtime_events.events import TOPIC_MEMORY, AccountingClamped
 
 
+def _as_int_bytes(value: float) -> int:
+    """Coerce a modeled byte count to an integer at the pool boundary."""
+    return int(round(value))
+
+
 class MemoryModel:
-    """Per-process byte accounting with a high-water mark.
+    """Per-process integer byte accounting with a high-water mark.
 
     Every pool is guarded against going negative: a negative balance means
     a double release or a missed charge (fault paths are the usual
@@ -30,13 +43,16 @@ class MemoryModel:
     of silently corrupting RSS metrics.
     """
 
-    def __init__(self, base_bytes: float = 0.0) -> None:
-        self.base_bytes = base_bytes
-        self.state_bytes = 0.0
-        self.send_queue_bytes = 0.0
-        self.recv_buffer_bytes = 0.0
-        self.retained_bytes = 0.0
-        self.peak_bytes = base_bytes
+    def __init__(self, base_bytes: float = 0) -> None:
+        self.base_bytes = _as_int_bytes(base_bytes)
+        self.state_bytes = 0
+        self.send_queue_bytes = 0
+        self.recv_buffer_bytes = 0
+        self.retained_bytes = 0
+        # Cold-tier bytes (spilling backends).  Deliberately NOT part of
+        # rss_bytes: spilled state left RAM — that is the point of spilling.
+        self.spilled_state_bytes = 0
+        self.peak_bytes = self.base_bytes
         self._sim = None
         self._owner = ""
 
@@ -45,10 +61,10 @@ class MemoryModel:
         self._sim = sim
         self._owner = owner
 
-    def _clamp(self, pool: str, value: float) -> float:
-        if value >= 0.0:
+    def _clamp(self, pool: str, value: int) -> int:
+        if value >= 0:
             return value
-        if self._sim is not None and value < -1e-6:
+        if self._sim is not None:
             trace = self._sim.trace
             if trace.wants_faults:
                 trace.publish(
@@ -59,10 +75,10 @@ class MemoryModel:
                         at=self._sim.now,
                     )
                 )
-        return 0.0
+        return 0
 
     @property
-    def rss_bytes(self) -> float:
+    def rss_bytes(self) -> int:
         """Current modeled resident set size."""
         return (
             self.base_bytes
@@ -76,22 +92,36 @@ class MemoryModel:
         if self.rss_bytes > self.peak_bytes:
             self.peak_bytes = self.rss_bytes
 
+    def set_state(self, resident: float, spilled: float = 0) -> None:
+        """Refresh live operator-state bytes (sampler path).
+
+        ``resident`` replaces the state pool wholesale; ``spilled`` records
+        the backends' cold-tier bytes alongside (not in RSS).
+        """
+        self.state_bytes = self._clamp("state", _as_int_bytes(resident))
+        self.spilled_state_bytes = self._clamp(
+            "spilled_state", _as_int_bytes(spilled)
+        )
+        self._note_peak()
+
     def add_state(self, delta: float) -> None:
         """Adjust live operator-state bytes."""
-        self.state_bytes = self._clamp("state", self.state_bytes + delta)
+        self.state_bytes = self._clamp(
+            "state", self.state_bytes + _as_int_bytes(delta)
+        )
         self._note_peak()
 
     def add_send_queue(self, delta: float) -> None:
         """Adjust bytes sitting in network send queues."""
         self.send_queue_bytes = self._clamp(
-            "send_queue", self.send_queue_bytes + delta
+            "send_queue", self.send_queue_bytes + _as_int_bytes(delta)
         )
         self._note_peak()
 
     def add_recv_buffer(self, delta: float) -> None:
         """Adjust bytes buffered at the receiver pending installation."""
         self.recv_buffer_bytes = self._clamp(
-            "recv_buffer", self.recv_buffer_bytes + delta
+            "recv_buffer", self.recv_buffer_bytes + _as_int_bytes(delta)
         )
         self._note_peak()
 
@@ -104,16 +134,24 @@ class MemoryModel:
         than the network threads can send them, and the originals are not
         returned to the OS in the meantime).
         """
-        self.retained_bytes = self._clamp("retained", self.retained_bytes + delta)
+        self.retained_bytes = self._clamp(
+            "retained", self.retained_bytes + _as_int_bytes(delta)
+        )
         self._note_peak()
 
 
 @dataclass
 class MemorySample:
-    """One point of a process's RSS timeline."""
+    """One point of a process's RSS timeline.
+
+    ``spilled_bytes`` is the cold-tier state reported by spilling backends
+    at the same instant — zero for flat backends, and never part of
+    ``rss_bytes``.
+    """
 
     time: float
-    rss_bytes: float
+    rss_bytes: int
+    spilled_bytes: int = 0
 
 
 @dataclass
@@ -123,17 +161,25 @@ class MemoryTimeline:
     process: int
     samples: list[MemorySample] = field(default_factory=list)
 
-    def record(self, time: float, rss_bytes: float) -> None:
+    def record(self, time: float, rss_bytes: int, spilled_bytes: int = 0) -> None:
         """Append one sample."""
-        self.samples.append(MemorySample(time=time, rss_bytes=rss_bytes))
+        self.samples.append(
+            MemorySample(
+                time=time, rss_bytes=rss_bytes, spilled_bytes=spilled_bytes
+            )
+        )
 
-    def peak(self) -> float:
+    def peak(self) -> int:
         """Largest sampled RSS (0 when empty)."""
-        return max((s.rss_bytes for s in self.samples), default=0.0)
+        return max((s.rss_bytes for s in self.samples), default=0)
 
-    def at(self, time: float) -> float:
+    def peak_spilled(self) -> int:
+        """Largest sampled cold-tier size (0 when empty or flat)."""
+        return max((s.spilled_bytes for s in self.samples), default=0)
+
+    def at(self, time: float) -> int:
         """RSS of the latest sample at or before ``time`` (0 if none)."""
-        best = 0.0
+        best = 0
         for sample in self.samples:
             if sample.time <= time:
                 best = sample.rss_bytes
@@ -160,4 +206,6 @@ class MemoryTimelineRecorder:
         self._unsubscribe()
 
     def _on_event(self, event) -> None:
-        self.timelines[event.process].record(event.at, event.rss_bytes)
+        self.timelines[event.process].record(
+            event.at, event.rss_bytes, getattr(event, "spilled_bytes", 0)
+        )

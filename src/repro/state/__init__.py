@@ -1,0 +1,63 @@
+"""``repro.state`` — the pluggable state-backend layer.
+
+Lifts bin state behind a :class:`~repro.state.backend.StateBackend`
+interface (get/put/delete/iterate, ``extract_bin``/``install_bin``, byte
+accounting, per-bin key/heat stats) with a
+:class:`~repro.state.codecs.Codec` abstraction for the serialized form.
+``BinStore`` owns one backend per worker-operator pair; migration
+shipping, snapshots, and crash recovery all serialize through the single
+``extract_bin`` + codec path.
+
+Built-ins: ``dict`` (the seed's behavior, byte-identical), ``sorted-log``
+(append + compaction), and ``tiered`` (hot RAM tier, cold modeled-disk
+tier with LRU spill and promote-on-access).  Codecs: ``modeled``,
+``pickle``, ``struct``.  See DESIGN.md §10.
+"""
+
+from repro.state.backend import (
+    BinNotResident,
+    BinPayload,
+    BinStats,
+    DictBackend,
+    StateBackend,
+    default_state_size,
+)
+from repro.state.codecs import Codec, ModeledCodec, PickleCodec, StructCodec
+from repro.state.registry import (
+    DEFAULT_BACKEND,
+    DEFAULT_CODEC,
+    backend_names,
+    codec_names,
+    make_backend,
+    register_backend,
+    register_codec,
+    resolve_backend,
+    resolve_codec,
+)
+from repro.state.sortedlog import LogState, SortedLogBackend
+from repro.state.tiered import TieredSpillBackend
+
+__all__ = [
+    "BinNotResident",
+    "BinPayload",
+    "BinStats",
+    "Codec",
+    "DEFAULT_BACKEND",
+    "DEFAULT_CODEC",
+    "DictBackend",
+    "LogState",
+    "ModeledCodec",
+    "PickleCodec",
+    "SortedLogBackend",
+    "StateBackend",
+    "StructCodec",
+    "TieredSpillBackend",
+    "backend_names",
+    "codec_names",
+    "default_state_size",
+    "make_backend",
+    "register_backend",
+    "register_codec",
+    "resolve_backend",
+    "resolve_codec",
+]

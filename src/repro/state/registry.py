@@ -1,0 +1,108 @@
+"""Registries of state backends and codecs.
+
+Selection everywhere (``ExperimentConfig``, the NEXMark harness, the CLI's
+``--state-backend``/``--codec`` flags) is by registered name, so a
+third-party backend only needs :func:`register_backend` — no CLI or
+harness edits.  Unknown names raise ``ValueError`` listing what *is*
+registered; the CLI turns that into a clean exit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Type
+
+from repro.state.backend import DictBackend, StateBackend
+from repro.state.codecs import Codec, ModeledCodec, PickleCodec, StructCodec
+from repro.state.sortedlog import SortedLogBackend
+from repro.state.tiered import TieredSpillBackend
+
+DEFAULT_BACKEND = "dict"
+DEFAULT_CODEC = "modeled"
+
+_BACKENDS: dict[str, Type[StateBackend]] = {}
+_CODECS: dict[str, Codec] = {}
+
+
+def register_backend(cls: Type[StateBackend]) -> Type[StateBackend]:
+    """Register a backend class under its ``name`` (idempotent for the same
+    class; re-registering a different class under a taken name is an error)."""
+    name = cls.name
+    if not name:
+        raise ValueError(f"{cls.__name__} has no backend name")
+    existing = _BACKENDS.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"backend name {name!r} is already registered")
+    _BACKENDS[name] = cls
+    return cls
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Register a codec instance under its ``name`` (codecs are stateless)."""
+    name = codec.name
+    if not name:
+        raise ValueError(f"{type(codec).__name__} has no codec name")
+    existing = _CODECS.get(name)
+    if existing is not None and type(existing) is not type(codec):
+        raise ValueError(f"codec name {name!r} is already registered")
+    _CODECS[name] = codec
+    return codec
+
+
+def backend_names() -> list[str]:
+    return sorted(_BACKENDS)
+
+
+def codec_names() -> list[str]:
+    return sorted(_CODECS)
+
+
+def resolve_backend(name: str) -> Type[StateBackend]:
+    """The backend class registered under ``name`` (ValueError if unknown)."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown state backend {name!r}; registered: "
+            f"{', '.join(backend_names())}"
+        ) from None
+
+
+def resolve_codec(name: str) -> Codec:
+    """The codec instance registered under ``name`` (ValueError if unknown)."""
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown codec {name!r}; registered: {', '.join(codec_names())}"
+        ) from None
+
+
+def make_backend(
+    name: str,
+    state_factory: Callable[[], object],
+    size_fn: Callable[[object], float],
+    codec: str | Codec = DEFAULT_CODEC,
+    options: Optional[dict] = None,
+) -> StateBackend:
+    """Construct a registered backend with a resolved codec.
+
+    ``options`` are backend-specific constructor keywords (e.g. the tiered
+    backend's ``hot_capacity_bytes``); ``None`` values are dropped so
+    callers can thread optional config fields through unconditionally.
+    """
+    cls = resolve_backend(name)
+    if isinstance(codec, str):
+        codec = resolve_codec(codec)
+    kwargs = {
+        key: value for key, value in (options or {}).items() if value is not None
+    }
+    return cls(state_factory, size_fn, codec, **kwargs)
+
+
+# The built-in set.
+register_backend(DictBackend)
+register_backend(SortedLogBackend)
+register_backend(TieredSpillBackend)
+register_codec(ModeledCodec())
+register_codec(PickleCodec())
+register_codec(StructCodec())

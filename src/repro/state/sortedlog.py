@@ -1,0 +1,205 @@
+"""Sorted-log backend: append-first writes with periodic compaction.
+
+Models an LSM-flavored representation: key-level writes append to a per-bin
+log and reads consult the log before the compacted base.  Uncompacted
+entries carry modeled overhead bytes, so a write-heavy bin's footprint
+grows between compactions and shrinks when the log folds into the base —
+the asymmetry a codec with cheap encodes and expensive decodes (``struct``)
+amplifies, because extraction always materializes the compacted view.
+
+Mapping states (anything the ``dict`` factory produces) are wrapped in
+:class:`LogState`, a ``MutableMapping`` that routes mutations through the
+log transparently — appliers keep using plain dict operations.  Opaque
+states (e.g. the modeled count state) are stored as-is; the backend then
+behaves like :class:`~repro.state.backend.DictBackend` for those bins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import MutableMapping
+from typing import Callable, Iterator
+
+from repro.state.backend import BinPayload, BinStats, DictBackend, _key_count
+from repro.state.codecs import Codec
+
+_TOMBSTONE = object()
+
+
+class LogState(MutableMapping):
+    """A mapping whose writes append to a log until compaction.
+
+    ``base`` holds compacted entries; ``log`` holds ``(key, value)`` pairs
+    (``_TOMBSTONE`` values mark deletions) in write order.  Reads scan the
+    log newest-first, then the base.
+    """
+
+    __slots__ = ("base", "log", "_live")
+
+    def __init__(self, base: dict | None = None) -> None:
+        self.base: dict = dict(base) if base else {}
+        self.log: list[tuple] = []
+        # Live key count, maintained incrementally so __len__ is O(1).
+        self._live = len(self.base)
+
+    # -- mapping protocol -------------------------------------------------------
+
+    def __getitem__(self, key):
+        for log_key, value in reversed(self.log):
+            if log_key == key:
+                if value is _TOMBSTONE:
+                    raise KeyError(key)
+                return value
+        return self.base[key]
+
+    def __setitem__(self, key, value) -> None:
+        if key not in self:
+            self._live += 1
+        self.log.append((key, value))
+
+    def __delitem__(self, key) -> None:
+        if key not in self:
+            raise KeyError(key)
+        self._live -= 1
+        self.log.append((key, _TOMBSTONE))
+
+    def __iter__(self) -> Iterator:
+        return iter(self.materialize())
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __contains__(self, key) -> bool:
+        for log_key, value in reversed(self.log):
+            if log_key == key:
+                return value is not _TOMBSTONE
+        return key in self.base
+
+    # -- log maintenance --------------------------------------------------------
+
+    @property
+    def log_len(self) -> int:
+        return len(self.log)
+
+    def materialize(self) -> dict:
+        """The logical mapping: base with the log folded in (sorted keys
+        where the key space is orderable, insertion order otherwise)."""
+        merged = dict(self.base)
+        for key, value in self.log:
+            if value is _TOMBSTONE:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        try:
+            return dict(sorted(merged.items()))
+        except TypeError:
+            return merged
+
+    def compact(self) -> int:
+        """Fold the log into the base; returns entries compacted away."""
+        folded = len(self.log)
+        if folded:
+            self.base = self.materialize()
+            self.log = []
+        return folded
+
+
+class SortedLogBackend(DictBackend):
+    """Bin state as compacted base + append log, with modeled log overhead."""
+
+    name = "sorted-log"
+
+    def __init__(
+        self,
+        state_factory: Callable[[], object],
+        size_fn: Callable[[object], float],
+        codec: Codec,
+        compact_threshold: int = 64,
+        log_entry_overhead_bytes: int = 16,
+    ) -> None:
+        super().__init__(state_factory, size_fn, codec)
+        if compact_threshold <= 0:
+            raise ValueError("compact_threshold must be positive")
+        self.compact_threshold = compact_threshold
+        self.log_entry_overhead_bytes = log_entry_overhead_bytes
+        self.compactions = 0
+
+    def _wrap(self, state: object) -> object:
+        if isinstance(state, LogState):
+            return state
+        if isinstance(state, dict):
+            return LogState(state)
+        return state
+
+    # -- bin lifecycle ----------------------------------------------------------
+
+    def create_bin(self, bin_id: object) -> object:
+        state = super().create_bin(bin_id)
+        wrapped = self._wrap(state)
+        self._states[bin_id] = wrapped
+        return wrapped
+
+    def put_state(self, bin_id: object, state: object) -> None:
+        super().put_state(bin_id, self._wrap(state))
+
+    def note_applied(self, bin_id: object) -> None:
+        """Compact once the uncompacted log crosses the threshold."""
+        state = self._states.get(bin_id)
+        if isinstance(state, LogState) and state.log_len >= self.compact_threshold:
+            state.compact()
+            self.compactions += 1
+
+    # -- byte accounting --------------------------------------------------------
+
+    def state_bytes(self, bin_id: object) -> int:
+        state = self._states[bin_id]
+        size = self.modeled_bytes(state)
+        if isinstance(state, LogState):
+            size += state.log_len * self.log_entry_overhead_bytes
+        return size
+
+    def resident_bytes(self) -> int:
+        return sum(self.state_bytes(b) for b in self._states)
+
+    def bin_stats(self, bin_id: object) -> BinStats:
+        state = self._states[bin_id]
+        return BinStats(
+            bin_id=bin_id,
+            keys=_key_count(state),
+            heat=self._heat.get(bin_id, 0),
+            last_access=self._last_access.get(bin_id, 0),
+            resident_bytes=self.state_bytes(bin_id),
+            spilled_bytes=0,
+        )
+
+    # -- serialization ----------------------------------------------------------
+
+    def extract_bin(self, bin_id: object, *, remove: bool = True) -> BinPayload:
+        state = self._states[bin_id]
+        if isinstance(state, LogState):
+            # Extraction always ships the compacted view: one flat mapping,
+            # no log structure on the wire.
+            flat = state.materialize()
+            keys = len(flat)
+            if remove:
+                del self._states[bin_id]
+                self._forget(bin_id)
+                payload = self.codec.encode(flat)
+            else:
+                payload = self.codec.encode(self.codec.copy(flat))
+            measured = self.codec.measured_bytes(payload)
+            nbytes = measured if measured is not None else self.modeled_bytes(state)
+            return BinPayload(
+                bin_id=bin_id,
+                codec=self.codec.name,
+                payload=payload,
+                state_bytes=nbytes,
+                size_bytes=nbytes,
+                keys=keys,
+            )
+        return super().extract_bin(bin_id, remove=remove)
+
+    def install_bin(self, payload: BinPayload, *, replace: bool = False) -> object:
+        state = super().install_bin(payload, replace=replace)
+        wrapped = self._wrap(state)
+        self._states[payload.bin_id] = wrapped
+        return wrapped

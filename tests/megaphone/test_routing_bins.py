@@ -87,8 +87,9 @@ def test_bin_store_duplicate_create_rejected():
     store.create(0)
     with pytest.raises(ValueError):
         store.create(0)
+    taken = store.extract(0, remove=False)
     with pytest.raises(ValueError):
-        store.install(Bin(bin_id=0, state={}))
+        store.install(taken)
 
 
 def test_bin_store_pending_counts_toward_size():

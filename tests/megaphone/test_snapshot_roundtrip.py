@@ -16,6 +16,7 @@ from repro.megaphone.snapshot import (
     snapshot_from_bytes,
     snapshot_to_bytes,
 )
+from repro.state.backend import BinPayload
 from tests.megaphone.test_adaptive_snapshot import build, drain, feed
 from repro.megaphone.snapshot import SnapshotCoordinator, restore_into
 
@@ -52,14 +53,22 @@ def snapshots(draw):
         ),
     )
     for bin_id in bin_ids:
+        state = draw(bin_states)
+        pending = draw(pending_entries)
+        size = draw(st.integers(min_value=0, max_value=10**9))
         snapshot.bins[bin_id] = BinSnapshot(
             bin_id=bin_id,
             worker=draw(st.integers(min_value=0, max_value=3)),
-            state=draw(bin_states),
-            pending=draw(pending_entries),
-            size_bytes=draw(
-                st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+            payload=BinPayload(
+                bin_id=bin_id,
+                codec="modeled",
+                payload=state,
+                pending=pending,
+                state_bytes=size,
+                size_bytes=size,
+                keys=len(state),
             ),
+            size_bytes=size,
         )
     return snapshot
 
@@ -79,11 +88,8 @@ def test_serialized_snapshot_roundtrips(snapshot):
         assert copy.state == original.state
         assert copy.pending == original.pending
         assert copy.size_bytes == original.size_bytes
-    # Per-bin sizes are exact; the total is a float sum whose order follows
-    # dict insertion, so compare it tolerantly.
-    assert abs(restored.total_bytes - snapshot.total_bytes) < 1e-6 * max(
-        1.0, snapshot.total_bytes
-    )
+    # Sizes are integer bytes end-to-end, so the total is exact.
+    assert restored.total_bytes == snapshot.total_bytes
     assert restored.assignment() == snapshot.assignment()
 
 

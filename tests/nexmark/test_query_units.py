@@ -4,7 +4,7 @@ import pytest
 
 from repro.megaphone.operators import ApplicationContext
 from repro.megaphone.api import Notificator
-from repro.megaphone.bins import Bin
+from repro.megaphone.bins import BinStore
 from repro.nexmark.config import NexmarkConfig
 from repro.nexmark.model import Auction, Bid, Person
 from repro.nexmark.queries import q1, q5, q7
@@ -23,7 +23,10 @@ def auction(id=1, t=0, expires=100, seller=3, reserve=1, category=2):
 
 
 def make_app(time=0, state=None, entries=()):
-    bin_ = Bin(bin_id=0, state=state if state is not None else {})
+    store = BinStore(num_bins=1, state_factory=dict)
+    bin_ = store.create(0)
+    if state is not None:
+        bin_.state = state
     return ApplicationContext(time, bin_, list(entries))
 
 

@@ -200,3 +200,47 @@ def test_profile_flag_wraps_other_commands(capsys):
     out = capsys.readouterr().out
     assert "steady-state max latency" in out
     assert "ncalls" in out
+
+
+@pytest.mark.parametrize(
+    "argv,message",
+    [
+        (["count", "--state-backend", "rocksdb"],
+         "unknown --state-backend 'rocksdb'; registered: dict, sorted-log, tiered"),
+        (["count", "--codec", "arrow"],
+         "unknown --codec 'arrow'; registered: modeled, pickle, struct"),
+        (["nexmark", "--query", "2", "--state-backend", "lsm"],
+         "unknown --state-backend 'lsm'"),
+        (["chaos", "--codec", "json"], "unknown --codec 'json'"),
+        (["bench", "--scale", "tiny", "--state-backend", "redis"],
+         "unknown --state-backend 'redis'"),
+        (["count", "--hot-capacity", "0"], "--hot-capacity must be positive"),
+    ],
+)
+def test_unknown_backend_or_codec_rejected(argv, message, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert message in capsys.readouterr().err
+
+
+def test_count_runs_on_every_backend(capsys):
+    for backend, extra in [
+        ("sorted-log", []),
+        ("tiered", ["--hot-capacity", "20000"]),
+    ]:
+        code = main([
+            "count", "--domain", "10000", "--rate", "2000", "--duration", "2",
+            "--workers", "2", "--workers-per-process", "2", "--bins", "16",
+            "--migrate-at", "1.0", "--state-backend", backend,
+            "--codec", "struct", *extra,
+        ])
+        assert code == 0
+        assert "steady-state max latency" in capsys.readouterr().out
+
+
+def test_list_names_backends_and_codecs(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "state backends: dict, sorted-log, tiered" in out
+    assert "codecs: modeled, pickle, struct" in out
