@@ -1,0 +1,120 @@
+"""Closed-loop planner on a hot-key-skewed workload.
+
+A Zipf-skewed key distribution concentrates load on a few bins.  The
+static baseline (planner in propose-only mode, no migrations) stays
+imbalanced for the whole run; the closed-loop planner detects the skew
+from record-load telemetry, searches a balanced target, and migrates —
+ending within the paper-style 1.25x max/mean acceptance line while
+keeping max latency inside the batched-strategy envelope.  A proportional
+state sweep then checks the calibrated cost model's per-step predictions
+stay within 2x of the observed step durations (the Figure 18 angle:
+migration cost proportional to moved state).
+"""
+
+from _common import count_config, run_once
+
+from repro.harness.experiment import run_count_experiment
+from repro.planner import PlannerConfig, TelemetryConfig
+
+
+def skew_config(**overrides):
+    defaults = dict(
+        num_workers=4,
+        workers_per_process=2,
+        num_bins=64,
+        domain=1 << 12,
+        rate=20_000.0,
+        duration_s=8.0,
+        workload="skewed",
+        hot_keys=12,
+        hot_fraction=0.85,
+        zipf_exponent=0.8,
+        cost=None,
+    )
+    defaults.update(overrides)
+    return count_config(**defaults)
+
+
+def planner_config(**overrides) -> PlannerConfig:
+    defaults = dict(
+        telemetry=TelemetryConfig(sample_s=0.25, window_s=1.0),
+        decide_s=0.5,
+        start_s=1.0,
+        cooldown_s=1.5,
+        min_gain=0.05,
+    )
+    defaults.update(overrides)
+    return PlannerConfig(**defaults)
+
+
+def step_prediction_ratios(result):
+    """(predicted, observed) totals over completed steps, calibrated model."""
+    model = result.cost_model
+    trace = result.migration_trace
+    predicted = observed = 0.0
+    for outcome in trace.outcome_rows():
+        if outcome.abandoned or outcome.duration_s <= 0:
+            continue
+        moves = [
+            (t.src, t.dst, t.size_bytes)
+            for (time, _), t in trace.bins.items()
+            if time == outcome.time and t.src is not None
+        ]
+        if not moves:
+            continue
+        predicted += model.predict_step_s(moves)
+        observed += outcome.duration_s
+    return predicted, observed
+
+
+def bench_planner_skew(benchmark, sink):
+    def run():
+        planner_run = run_count_experiment(
+            skew_config(planner=planner_config(), collect_trace=True)
+        )
+        static_run = run_count_experiment(
+            skew_config(planner=planner_config(propose_only=True))
+        )
+        batched_run = run_count_experiment(
+            skew_config(migrate_at_s=(3.0,), strategy="batched", batch_size=16)
+        )
+        sweep = [
+            run_count_experiment(
+                skew_config(
+                    planner=planner_config(),
+                    collect_trace=True,
+                    bytes_per_key=bytes_per_key,
+                )
+            )
+            for bytes_per_key in (8.0, 64.0, 256.0)
+        ]
+        return planner_run, static_run, batched_run, sweep
+
+    planner_run, static_run, batched_run, sweep = run_once(benchmark, run)
+
+    sink("planner vs static on hot-key skew (4 workers, 64 bins)")
+    sink(f"  static final imbalance   {static_run.final_imbalance:7.2f}x"
+         f"  migrations {len(static_run.migrations)}")
+    sink(f"  planner final imbalance  {planner_run.final_imbalance:7.2f}x"
+         f"  migrations {len(planner_run.migrations)}"
+         f"  adopted {len(planner_run.planner.adopted)}")
+    sink(f"  planner max latency  {planner_run.overall_max_latency() * 1000:8.2f} ms")
+    sink(f"  batched max latency  {batched_run.overall_max_latency() * 1000:8.2f} ms")
+
+    # The static baseline stays skewed; the planner converges.
+    assert static_run.final_imbalance > 1.5
+    assert not static_run.migrations
+    assert planner_run.migrations
+    assert planner_run.final_imbalance <= 1.25
+    # Latency stays within the batched-strategy envelope.
+    assert planner_run.overall_max_latency() <= 2.0 * batched_run.overall_max_latency()
+
+    sink("cost-model calibration, proportional state sweep")
+    for bytes_per_key, result in zip((8.0, 64.0, 256.0), sweep):
+        predicted, observed = step_prediction_ratios(result)
+        ratio = predicted / observed if observed else float("nan")
+        sink(f"  bytes/key {bytes_per_key:6.0f}  predicted {predicted * 1000:7.2f} ms"
+             f"  observed {observed * 1000:7.2f} ms  ratio {ratio:5.2f}")
+        assert result.cost_model.calibrated
+        # Predictions within 2x of observed (Fig 18 acceptance).
+        assert 0.5 <= ratio <= 2.0

@@ -6,6 +6,7 @@ Usage (module form)::
     python -m repro.cli nexmark --query 5 --strategy batched --dilation 60
     python -m repro.cli compare --domain 1e9           # Figure 1 in one line
     python -m repro.cli trace --domain 1e7             # per-bin phase breakdown
+    python -m repro.cli plan --workload skewed         # closed-loop planner
     python -m repro.cli bench --scale smoke            # hot-path throughput
     python -m repro.cli list
 
@@ -102,6 +103,14 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
         parser.error(
             f"--hot-capacity must be positive, got {args.hot_capacity}"
         )
+    if getattr(args, "hot_keys", 1) <= 0:
+        parser.error(f"--hot-keys must be positive, got {args.hot_keys}")
+    if not 0.0 <= getattr(args, "hot_fraction", 0.5) <= 1.0:
+        parser.error(
+            f"--hot-fraction must be within [0, 1], got {args.hot_fraction}"
+        )
+    if getattr(args, "min_gain", 0.0) < 0.0:
+        parser.error(f"--min-gain must be non-negative, got {args.min_gain}")
 
 
 def _validate_backend_args(parser: argparse.ArgumentParser, args) -> None:
@@ -238,6 +247,105 @@ def cmd_trace(args) -> int:
         result.migration_duration(i) for i in range(len(result.migrations))
     )
     print(f"measured migration duration: {format_duration(measured)}")
+    outcomes = trace.outcome_rows()
+    if outcomes:
+        print_table(
+            "step outcomes",
+            ["time", "moves", "batch", "attempts", "duration"],
+            [
+                (
+                    o.time,
+                    o.moves,
+                    o.batch_size,
+                    o.attempts,
+                    format_duration(o.duration_s),
+                )
+                for o in outcomes[: args.max_rows]
+            ],
+        )
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """Observe a run, propose migration plans, optionally execute them.
+
+    Runs the counting workload (skewed by default) with the closed-loop
+    planner attached.  Without ``--execute`` the planner is an advisor:
+    it searches and prices plans but never migrates.  ``--output`` writes
+    the first gate-clearing plan as a plan_io JSON document (exit 1 if no
+    plan cleared the gate).
+    """
+    from repro.megaphone.plan_io import dump_plan
+    from repro.planner import PlannerConfig, TelemetryConfig
+
+    objective_options = {}
+    if args.objective == "drain":
+        if not args.drain:
+            print(
+                "the drain objective needs --drain <worker> [...]",
+                file=sys.stderr,
+            )
+            return 2
+        objective_options["drain_workers"] = tuple(args.drain)
+    planner_cfg = PlannerConfig(
+        objective=args.objective,
+        telemetry=TelemetryConfig(
+            sample_s=args.sample_s, window_s=args.window_s
+        ),
+        decide_s=args.decide_s,
+        start_s=args.observe_s,
+        cooldown_s=args.cooldown_s,
+        min_gain=args.min_gain,
+        slo_step_s=args.slo_step_s,
+        propose_only=not args.execute,
+        objective_options=objective_options,
+    )
+    cfg = _config_from(
+        args,
+        domain=int(args.domain),
+        workload=args.workload,
+        hot_keys=args.hot_keys,
+        hot_fraction=args.hot_fraction,
+        zipf_exponent=args.zipf_exponent,
+        planner=planner_cfg,
+    )
+    result = run_count_experiment(cfg)
+    report = result.planner
+    rows = [
+        (
+            f"{p.at:.2f}s",
+            p.moves,
+            p.steps,
+            format_duration(p.predicted_cost_s),
+            f"{p.predicted_gain:+.2f}",
+            "adopted" if p.adopted else p.reason,
+        )
+        for p in report.proposals
+    ]
+    print_table(
+        f"planner decisions, objective {args.objective}"
+        + ("" if args.execute else " (propose-only)"),
+        ["at", "moves", "steps", "pred. cost", "gain", "verdict"],
+        rows if rows else [("-", 0, 0, "-", "-", "nothing to propose")],
+    )
+    print(
+        f"\ndecision points: {report.decisions}; proposals: "
+        f"{len(report.proposals)}; adopted: {len(report.adopted)}"
+    )
+    print(f"final imbalance (max/mean): {result.final_imbalance:.2f}x")
+    if args.execute and result.migrations:
+        _report(result, f"planner-driven run, objective {args.objective}")
+    if args.output:
+        adopted = report.adopted
+        if not adopted:
+            print("no plan cleared the gate; nothing written")
+            return 1
+        dump_plan(adopted[0].plan, args.output)
+        plan = adopted[0].plan
+        print(
+            f"plan written to {args.output} "
+            f"({plan.total_moves} moves in {len(plan.steps)} steps)"
+        )
     return 0
 
 
@@ -335,12 +443,17 @@ def cmd_bench(args) -> int:
 
 def cmd_list(args) -> int:
     """List available workloads, strategies, backends, and codecs."""
+    from repro.planner import OBJECTIVES
     from repro.state import backend_names, codec_names
 
-    print("workloads: count (microbenchmark), nexmark (queries 1-8)")
+    print("workloads: count (microbenchmark, uniform or skewed), "
+          "nexmark (queries 1-8)")
     print(f"strategies: {', '.join(STRATEGIES)}")
     print(f"state backends: {', '.join(backend_names())}")
     print(f"codecs: {', '.join(codec_names())}")
+    print(f"planner objectives: {', '.join(OBJECTIVES)}")
+    print("planner policies: closed-loop (cooldown, cost/benefit gate, "
+          "SLO pacing), propose-only (advisor)")
     print("bench: python -m repro.cli bench --scale smoke|full  (hot-path throughput)")
     print("benchmarks: pytest benchmarks/ --benchmark-only  (one per paper figure)")
     return 0
@@ -449,6 +562,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="state backend the benched operators run on",
     )
     bench.set_defaults(fn=cmd_bench)
+
+    plan = sub.add_parser(
+        "plan",
+        help="observe load, propose migration plans, optionally execute",
+    )
+    _common_args(plan)
+    # A planner run schedules no static migrations; the planner decides.
+    plan.set_defaults(migrate_at=[], bins=64, workers=4, duration=8.0)
+    from repro.planner import OBJECTIVES
+
+    plan.add_argument(
+        "--objective", choices=sorted(OBJECTIVES), default="balance",
+        help="what the plan search optimizes (default: balance)",
+    )
+    plan.add_argument("--domain", type=float, default=float(1 << 12))
+    plan.add_argument(
+        "--workload", choices=("uniform", "skewed"), default="skewed",
+        help="key distribution of the observed run (default: skewed)",
+    )
+    plan.add_argument("--hot-keys", type=int, default=12)
+    plan.add_argument("--hot-fraction", type=float, default=0.85)
+    plan.add_argument("--zipf-exponent", type=float, default=0.8)
+    plan.add_argument(
+        "--observe-s", type=float, default=1.0,
+        help="simulated seconds of telemetry before the first decision",
+    )
+    plan.add_argument("--sample-s", type=float, default=0.25)
+    plan.add_argument("--window-s", type=float, default=1.0)
+    plan.add_argument("--decide-s", type=float, default=0.5)
+    plan.add_argument("--cooldown-s", type=float, default=1.5)
+    plan.add_argument(
+        "--min-gain", type=float, default=0.05,
+        help="required drop in max/mean imbalance to adopt a plan",
+    )
+    plan.add_argument(
+        "--slo-step-s", type=float, default=0.05,
+        help="per-step latency budget the step search packs within",
+    )
+    plan.add_argument(
+        "--drain", type=int, nargs="*", default=[],
+        help="drain objective: worker ids to empty (scale-in)",
+    )
+    plan.add_argument(
+        "--execute", action="store_true",
+        help="execute adopted plans (default: propose-only advisor mode)",
+    )
+    plan.add_argument(
+        "--output", default=None,
+        help="write the first adopted plan as plan_io JSON "
+        "(exit 1 if nothing cleared the gate)",
+    )
+    plan.set_defaults(fn=cmd_plan)
 
     lst = sub.add_parser("list", help="list workloads and strategies")
     lst.set_defaults(fn=cmd_list)

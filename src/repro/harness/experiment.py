@@ -20,7 +20,7 @@ from repro.chaos.recovery import ConfigurationLedger, RecoveryCoordinator
 from repro.chaos.watchdog import LivenessWatchdog, WatchdogConfig
 from repro.harness.latency import EpochLatencyRecorder, LatencyTimeline
 from repro.harness.openloop import OpenLoopSource
-from repro.harness.workloads import CountWorkload, count_fold
+from repro.harness.workloads import CountWorkload, SkewedCountWorkload, count_fold
 from repro.megaphone.api import state_machine
 from repro.megaphone.control import BinnedConfiguration
 from repro.megaphone.controller import (
@@ -32,6 +32,9 @@ from repro.megaphone.controller import (
 )
 from repro.megaphone.migration import imbalanced_target, make_plan
 from repro.megaphone.snapshot import SnapshotCoordinator
+from repro.planner.cost import MigrationCostModel
+from repro.planner.policy import ClosedLoopPlanner, PlannerConfig, PlannerReport
+from repro.planner.telemetry import LoadTelemetry
 from repro.runtime_events.analyze import MigrationTrace
 from repro.runtime_events.events import MemorySampled
 from repro.sim.cost import CostModel
@@ -86,6 +89,32 @@ class ExperimentConfig:
     # Fault injection.  None (the default) leaves every chaos hook unwired —
     # the run is byte-identical to a build without the chaos subsystem.
     chaos: Optional[ChaosConfig] = None
+    # Key distribution: "uniform" (the paper's microbenchmark) or "skewed"
+    # (Zipf-like heat on hot_keys keys — the regime the planner targets).
+    workload: str = "uniform"
+    hot_keys: int = 8
+    hot_fraction: float = 0.9
+    zipf_exponent: float = 1.0
+    # Closed-loop planner.  None (the default) leaves telemetry, cost
+    # models, and the decision loop unwired — the run is byte-identical to
+    # a build without the planner subsystem.
+    planner: Optional[PlannerConfig] = None
+
+    def make_workload(self):
+        """The configured workload object (uniform or skewed)."""
+        if self.workload == "uniform":
+            return CountWorkload(domain=self.domain, seed=self.seed)
+        if self.workload == "skewed":
+            return SkewedCountWorkload(
+                domain=self.domain,
+                seed=self.seed,
+                hot_keys=self.hot_keys,
+                hot_fraction=self.hot_fraction,
+                zipf_exponent=self.zipf_exponent,
+            )
+        raise ValueError(
+            f"unknown workload {self.workload!r}; pick 'uniform' or 'skewed'"
+        )
 
     def backend_options(self) -> dict:
         """Backend-specific constructor options (None values are dropped
@@ -122,6 +151,12 @@ class ExperimentResult:
     chaos_diagnoses: list = field(default_factory=list)
     abandoned_steps: int = 0
     fault_log: Optional[FaultLog] = None
+    # Planner outcome (None unless the config carried a PlannerConfig):
+    # the decision log plus the end-of-run max/mean worker-load ratio.
+    planner: Optional[PlannerReport] = None
+    final_imbalance: float = 0.0
+    # The calibrated cost model (post-run), for prediction-vs-observed checks.
+    cost_model: Optional[MigrationCostModel] = None
 
     def migration_window(self, index: int) -> tuple[float, float]:
         """(start, end) of migration ``index``, padded by one window."""
@@ -271,6 +306,23 @@ class MigrationExperiment:
             )
             watchdog.start()
 
+        # -- closed-loop planner (inert unless the config carries one) --------
+        planner = None
+        telemetry = None
+        cost_model = None
+        if cfg.planner is not None and op is not None:
+            telemetry = LoadTelemetry(
+                runtime, op, cfg.planner.telemetry, num_workers=cfg.num_workers
+            )
+            cost_model = MigrationCostModel(
+                sim.trace,
+                prior=cfg.resolved_cost(),
+                bandwidth_bytes_per_s=cfg.bandwidth_bytes_per_s,
+                network_latency_s=cfg.network_latency_s,
+            )
+            if cfg.planner.stop_s is None:
+                cfg.planner.stop_s = cfg.duration_s
+
         resilient: list[ResilientMigrationController] = []
         if op is not None and cfg.migrate_at_s:
             initial = op.config.initial
@@ -302,6 +354,53 @@ class MigrationExperiment:
                 controllers.append(controller)
                 current = target
 
+        planner_box: dict = {}
+        if telemetry is not None:
+
+            def _planner_controller(plan):
+                if chaos is not None:
+                    controller = ResilientMigrationController(
+                        runtime, control_group, ticker, probe, plan,
+                        retry=chaos.retry
+                        if chaos.retry is not None
+                        else RetryPolicy(),
+                        injector=injector,
+                        ledger=ledger,
+                        on_recovery_step=coordinator.on_recovery_step
+                        if coordinator is not None
+                        else None,
+                        # Scheduled migrations (if any) already reconcile
+                        # crashes; planner-spawned controllers never do.
+                        reconcile=False,
+                        gap_s=cfg.planner.gap_s,
+                    )
+                    resilient.append(controller)
+                    return controller
+                return MigrationController(
+                    runtime, control_group, ticker, probe, plan,
+                    gap_s=cfg.planner.gap_s,
+                )
+
+            planner = ClosedLoopPlanner(
+                runtime,
+                op,
+                control_group,
+                ticker,
+                probe,
+                telemetry,
+                cost_model,
+                cfg.planner,
+                controller_factory=_planner_controller,
+            )
+            telemetry.start(0.0)
+            planner.start()
+            # The reported imbalance is the ratio while load still flows;
+            # sampling after the source stops would read an empty window.
+            sim.schedule_at(
+                cfg.duration_s,
+                lambda: planner_box.update(imbalance=telemetry.imbalance()),
+            )
+
         if cfg.sample_memory:
             memory_recorder = MemoryTimelineRecorder(
                 sim.trace, len(cluster.processes)
@@ -319,8 +418,19 @@ class MigrationExperiment:
         source.start()
 
         runtime.run(until=cfg.duration_s + 1.0)
+        if planner is not None:
+            planner.stop()
+
+        def _pending() -> bool:
+            if any(not c.done for c in controllers):
+                return True
+            return planner is not None and (
+                not planner.done
+                or any(not c.done for c in planner.controllers)
+            )
+
         guard = 0
-        while any(not c.done for c in controllers):
+        while _pending():
             if watchdog is not None and watchdog.failed:
                 # The watchdog gave up: stop driving and report the stall
                 # (verdict + diagnosis) instead of spinning.
@@ -331,15 +441,20 @@ class MigrationExperiment:
                 if chaos is not None:
                     break
                 raise RuntimeError("migration did not complete; dataflow stalled")
+        if telemetry is not None:
+            telemetry.stop()
         ticker.stop()
         runtime.run_to_quiescence()
 
         if fault_log is not None:
             fault_log.close()
+        all_controllers = list(controllers)
+        if planner is not None:
+            all_controllers.extend(planner.controllers)
         result = ExperimentResult(
             config=cfg,
             timeline=timeline,
-            migrations=[c.result for c in controllers],
+            migrations=[c.result for c in all_controllers],
             memory=memory_timelines,
             records_injected=source.records_injected,
             sim_events=sim.events_processed,
@@ -353,6 +468,13 @@ class MigrationExperiment:
         if chaos is not None:
             result.abandoned_steps = sum(len(c.abandoned) for c in resilient)
             result.fault_log = fault_log
+        if planner is not None:
+            result.planner = planner.report
+            result.final_imbalance = planner_box.get(
+                "imbalance", telemetry.imbalance()
+            )
+            cost_model.close()
+            result.cost_model = cost_model
         return result
 
     def _schedule_memory_sampler(
@@ -404,7 +526,7 @@ class MigrationExperiment:
 
 
 def _build_megaphone_count(df, control, data, cfg: ExperimentConfig):
-    workload = CountWorkload(domain=cfg.domain, seed=cfg.seed)
+    workload = cfg.make_workload()
     initial = BinnedConfiguration.round_robin(cfg.num_bins, cfg.num_workers)
     op = state_machine(
         control,
@@ -477,7 +599,7 @@ def _build_native_count(df, control, data, cfg: ExperimentConfig):
 
 def run_count_experiment(cfg: ExperimentConfig) -> ExperimentResult:
     """Run the counting microbenchmark under ``cfg``."""
-    workload = CountWorkload(domain=cfg.domain, seed=cfg.seed)
+    workload = cfg.make_workload()
     build = _build_native_count if cfg.native else _build_megaphone_count
     experiment = MigrationExperiment(cfg, build, workload.make_generator())
     return experiment.run()

@@ -88,3 +88,97 @@ class CountWorkload:
 def count_fold(key: int, diff: int, state: ModeledCountState) -> list:
     """The counting fold: accumulate and report the key's count."""
     return [(key, state.add(key, diff))]
+
+
+@dataclass
+class SkewedCountWorkload:
+    """Counting workload with Zipf-like heat concentrated on a few keys.
+
+    A ``hot_fraction`` share of the traffic goes to ``hot_keys`` keys whose
+    popularity decays as ``rank^-zipf_exponent``; the rest draws uniformly
+    from the domain.  Because bins hash keys (splitmix64 top bits), the hot
+    keys land in a handful of bins — exactly the per-bin load imbalance the
+    migration planner's telemetry is built to detect.  The interface
+    mirrors :class:`CountWorkload` so every harness path accepts either.
+    """
+
+    domain: int
+    seed: int = 1
+    hot_keys: int = 8
+    hot_fraction: float = 0.9
+    zipf_exponent: float = 1.0
+
+    def hot_key_set(self) -> list[int]:
+        """The hot keys, most popular first (deterministic in the seed)."""
+        lcg = Lcg(self.seed * 7777771 + 13)
+        seen: set[int] = set()
+        keys: list[int] = []
+        while len(keys) < self.hot_keys:
+            key = lcg.next() % self.domain
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        return keys
+
+    def hot_bin_ids(self, num_bins: int) -> set[int]:
+        """The bins the hot keys hash into under ``num_bins`` bins."""
+        from repro.megaphone.control import bin_of
+
+        return {bin_of(key, num_bins) for key in self.hot_key_set()}
+
+    def _rank_table(self, slots: int = 1024) -> list[int]:
+        """Quantized Zipf CDF: a uniform draw over slots picks a hot-key
+        rank with probability proportional to ``rank^-zipf_exponent``."""
+        weights = [
+            1.0 / (rank + 1) ** self.zipf_exponent
+            for rank in range(self.hot_keys)
+        ]
+        total = sum(weights)
+        table: list[int] = []
+        cumulative = 0.0
+        for rank, weight in enumerate(weights):
+            cumulative += weight
+            fill = int(round(slots * cumulative / total))
+            while len(table) < fill:
+                table.append(rank)
+        while len(table) < slots:
+            table.append(self.hot_keys - 1)
+        return table
+
+    def make_generator(self):
+        """A per-worker deterministic generator of ``(key, 1)`` records."""
+        lcgs: dict[int, Lcg] = {}
+        domain = self.domain
+        seed = self.seed
+        hot = self.hot_key_set()
+        table = self._rank_table()
+        slots = len(table)
+        threshold = int(self.hot_fraction * 1_000_000)
+
+        def generate(worker: int, epoch_ms: int, count: int) -> list:
+            lcg = lcgs.get(worker)
+            if lcg is None:
+                lcg = lcgs[worker] = Lcg(seed * 1000003 + worker)
+            nxt = lcg.next
+            out = []
+            for _ in range(count):
+                if nxt() % 1_000_000 < threshold:
+                    out.append((hot[table[nxt() % slots]], 1))
+                else:
+                    out.append((nxt() % domain, 1))
+            return out
+
+        return generate
+
+    def expected_keys_per_bin(self, num_bins: int) -> float:
+        """The pre-loaded key population of one bin."""
+        return self.domain / num_bins
+
+    def state_factory_for(self, num_bins: int):
+        """Factory producing pre-loaded modeled bin states."""
+        expected = self.expected_keys_per_bin(num_bins)
+
+        def factory() -> ModeledCountState:
+            return ModeledCountState(expected_keys=expected)
+
+        return factory

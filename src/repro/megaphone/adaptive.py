@@ -20,7 +20,11 @@ from typing import Optional
 from repro.megaphone.control import BinnedConfiguration
 from repro.megaphone.controller import EpochTicker, MigrationResult, StepResult
 from repro.runtime_events.analyze import MigrationTrace
-from repro.runtime_events.events import MigrationStepCompleted, MigrationStepIssued
+from repro.runtime_events.events import (
+    MigrationStepCompleted,
+    MigrationStepIssued,
+    MigrationStepOutcome,
+)
 from repro.timely.dataflow import InputGroup, Runtime
 
 
@@ -101,7 +105,11 @@ class AdaptiveMigrationController:
         self._runtime.sim.trace.publish(
             MigrationStepIssued(time=time, moves=len(insts), at=now)
         )
-        self._awaiting = StepResult(time=time, moves=len(insts), issued_at=now)
+        # ``batch_size`` records the *chosen* batch (the clamped AIMD
+        # window), which exceeds len(insts) on the final, shorter step.
+        self._awaiting = StepResult(
+            time=time, moves=len(insts), issued_at=now, batch_size=batch
+        )
         self.result.steps.append(self._awaiting)
         self._check_progress(None)
 
@@ -113,6 +121,17 @@ class AdaptiveMigrationController:
         self._awaiting = None
         self._runtime.sim.trace.publish(
             MigrationStepCompleted(time=awaiting.time, at=awaiting.completed_at)
+        )
+        self._runtime.sim.trace.publish(
+            MigrationStepOutcome(
+                time=awaiting.time,
+                moves=awaiting.moves,
+                batch_size=awaiting.batch_size,
+                attempts=awaiting.attempts,
+                abandoned=False,
+                duration_s=awaiting.duration or 0.0,
+                at=awaiting.completed_at,
+            )
         )
         self._adapt(awaiting)
         self._runtime.sim.schedule(self._config.gap_s, self._issue_next)

@@ -200,7 +200,10 @@ class BinStore:
         """Stats for every resident bin."""
         return {b: self.backend.bin_stats(b) for b in self._bins}
 
-    def note_applied(self, bin_id: int) -> None:
-        """Tell the backend an applier just mutated ``bin_id`` (compaction
-        and spill policies hook here; flat backends no-op)."""
+    def note_applied(self, bin_id: int, records: int = 0) -> None:
+        """Tell the backend an applier just mutated ``bin_id`` with
+        ``records`` records (compaction and spill policies hook on the
+        mutation; the record count feeds per-bin load telemetry)."""
+        if records:
+            self.backend.note_records(bin_id, records)
         self.backend.note_applied(bin_id)

@@ -29,6 +29,7 @@ from repro.runtime_events.events import (
     MigrationStepAbandoned,
     MigrationStepCompleted,
     MigrationStepIssued,
+    MigrationStepOutcome,
     MigrationStepRetried,
     MigrationStepTimedOut,
     WorkerExcluded,
@@ -108,6 +109,11 @@ class StepResult:
     insts: tuple = ()
     attempts: int = 1
     abandoned: bool = False
+    # The batch the controller chose for this step.  Plan-driven
+    # controllers record the step's move count; the adaptive controller
+    # records its chosen batch, which can exceed ``moves`` on the tail
+    # step.  Cost models relate this to the realized duration.
+    batch_size: int = 0
 
     @property
     def duration(self) -> Optional[float]:
@@ -116,12 +122,36 @@ class StepResult:
         return self.completed_at - self.issued_at
 
 
+def _outcome_of(step: StepResult, at: float) -> MigrationStepOutcome:
+    """The step's trace-bus outcome record (completion or abandonment)."""
+    return MigrationStepOutcome(
+        time=step.time,
+        moves=step.moves,
+        batch_size=step.batch_size,
+        attempts=step.attempts,
+        abandoned=step.abandoned,
+        duration_s=step.duration if step.duration is not None else at - step.issued_at,
+        at=at,
+    )
+
+
 @dataclass
 class MigrationResult:
     """Timings of a whole plan."""
 
     strategy: str
     steps: list[StepResult] = field(default_factory=list)
+
+    @property
+    def batch_sizes(self) -> list[int]:
+        """Chosen batch size of every step, in issue order."""
+        return [step.batch_size for step in self.steps]
+
+    @property
+    def total_attempts(self) -> int:
+        """Issues including retries across all steps (> len(steps) means
+        at least one step timed out and was re-issued)."""
+        return sum(step.attempts for step in self.steps)
 
     @property
     def started_at(self) -> Optional[float]:
@@ -229,7 +259,8 @@ class MigrationController:
                 MigrationStepIssued(time=time, moves=len(insts), at=now)
             )
         result = StepResult(
-            time=time, moves=len(insts), issued_at=now, insts=tuple(insts)
+            time=time, moves=len(insts), issued_at=now, insts=tuple(insts),
+            batch_size=len(insts),
         )
         self._awaiting.append(result)
         self.result.steps.append(result)
@@ -246,6 +277,7 @@ class MigrationController:
                 trace.publish(
                     MigrationStepCompleted(time=step.time, at=step.completed_at)
                 )
+                trace.publish(_outcome_of(step, step.completed_at))
             completed_any = True
         if completed_any and self._pace_s is None and not self._awaiting:
             self._runtime.sim.schedule(self._gap_s, self._issue_next)
@@ -441,6 +473,8 @@ class ResilientMigrationController(MigrationController):
                     time=result.time, attempts=result.attempts, at=now
                 )
             )
+        if trace.wants_migration:
+            trace.publish(_outcome_of(result, now))
         if self._pace_s is None and not self._awaiting:
             self._runtime.sim.schedule(self._gap_s, self._issue_next)
 
@@ -516,6 +550,7 @@ class ResilientMigrationController(MigrationController):
                     trace.publish(
                         MigrationStepCompleted(time=step.time, at=now)
                     )
+                    trace.publish(_outcome_of(step, now))
                 completed_any = True
             else:
                 remaining.append(step)

@@ -39,10 +39,16 @@ class MigrationStep:
 
 @dataclass
 class MigrationPlan:
-    """An ordered sequence of reconfiguration steps."""
+    """An ordered sequence of reconfiguration steps.
+
+    ``provenance`` is opaque to execution: controllers replay the steps
+    identically whether a human or the planner authored them.  Serialized
+    plans carry it as a :class:`repro.megaphone.plan_io.PlanProvenance`.
+    """
 
     strategy: str
     steps: list[MigrationStep] = field(default_factory=list)
+    provenance: object = None
 
     @property
     def total_moves(self) -> int:

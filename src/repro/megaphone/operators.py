@@ -514,8 +514,9 @@ class _SLogic:
                 bin_.pending.push(sched_time, entry)
                 self._schedule_bin(ctx, sched_time, bin_id)
             # Backends with maintenance policies (log compaction, tier
-            # spill) react to the mutation here; flat backends no-op.
-            store.note_applied(bin_id)
+            # spill) react to the mutation here; flat backends no-op.  The
+            # record count accumulates into per-bin load statistics.
+            store.note_applied(bin_id, len(entries))
         ctx.charge(total * cost.record_cost)
         if outputs:
             ctx.send(0, time, outputs)

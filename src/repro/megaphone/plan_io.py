@@ -10,16 +10,61 @@ controller can be a separate program (or a human with an editor).
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
+from typing import Optional
+
 from repro.megaphone.control import BinnedConfiguration, ControlInst
 from repro.megaphone.migration import MigrationPlan, MigrationStep
 
-FORMAT_VERSION = 1
+# Version 2 adds the optional ``provenance`` block; version-1 documents
+# (no provenance) remain readable, and documents written without
+# provenance are emitted as version 1 so older readers still accept them.
+FORMAT_VERSION = 2
+READ_VERSIONS = (1, 2)
+
+
+@dataclass(frozen=True)
+class PlanProvenance:
+    """Who authored a plan, and from what evidence.
+
+    ``source`` is ``"manual"`` for human/externally authored plans and
+    ``"planner"`` for plans emitted by :mod:`repro.planner`.  Planner
+    plans also record the objective they optimized and the telemetry
+    window (seconds of observed load) the decision was based on.
+    """
+
+    source: str = "manual"
+    objective: str = ""
+    window_s: float = 0.0
+    created_at: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "objective": self.objective,
+            "window_s": self.window_s,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanProvenance":
+        if not isinstance(data, dict):
+            raise ValueError("provenance must be an object")
+        source = str(data.get("source", "manual"))
+        if source not in ("manual", "planner"):
+            raise ValueError(f"unknown provenance source {source!r}")
+        return cls(
+            source=source,
+            objective=str(data.get("objective", "")),
+            window_s=float(data.get("window_s", 0.0)),
+            created_at=float(data.get("created_at", 0.0)),
+        )
 
 
 def configuration_to_dict(config: BinnedConfiguration) -> dict:
     """JSON-compatible form of a configuration."""
     return {
-        "version": FORMAT_VERSION,
+        "version": 1,
         "kind": "configuration",
         "assignment": list(config.assignment),
     }
@@ -48,14 +93,18 @@ def inst_from_dict(data: dict) -> ControlInst:
 
 def plan_to_dict(plan: MigrationPlan) -> dict:
     """JSON-compatible form of a migration plan."""
-    return {
-        "version": FORMAT_VERSION,
+    provenance = _coerce_provenance(plan.provenance)
+    data = {
+        "version": FORMAT_VERSION if provenance is not None else 1,
         "kind": "plan",
         "strategy": plan.strategy,
         "steps": [
             [inst_to_dict(inst) for inst in step.insts] for step in plan.steps
         ],
     }
+    if provenance is not None:
+        data["provenance"] = provenance.to_dict()
+    return data
 
 
 def plan_from_dict(data: dict) -> MigrationPlan:
@@ -65,7 +114,22 @@ def plan_from_dict(data: dict) -> MigrationPlan:
         MigrationStep(tuple(inst_from_dict(i) for i in step))
         for step in data["steps"]
     ]
-    return MigrationPlan(strategy=str(data["strategy"]), steps=steps)
+    provenance = None
+    if data.get("provenance") is not None:
+        provenance = PlanProvenance.from_dict(data["provenance"])
+    return MigrationPlan(
+        strategy=str(data["strategy"]), steps=steps, provenance=provenance
+    )
+
+
+def _coerce_provenance(value) -> Optional[PlanProvenance]:
+    if value is None:
+        return None
+    if isinstance(value, PlanProvenance):
+        return value
+    if isinstance(value, dict):
+        return PlanProvenance.from_dict(value)
+    raise ValueError(f"cannot serialize provenance of type {type(value).__name__}")
 
 
 def dump_plan(plan: MigrationPlan, path) -> None:
@@ -98,8 +162,8 @@ def _check(data: dict, kind: str) -> None:
     if data.get("kind") != kind:
         raise ValueError(f"expected kind={kind!r}, got {data.get('kind')!r}")
     version = data.get("version")
-    if version != FORMAT_VERSION:
+    if version not in READ_VERSIONS:
         raise ValueError(
             f"unsupported {kind} format version {version!r} "
-            f"(this library reads version {FORMAT_VERSION})"
+            f"(this library reads versions {READ_VERSIONS})"
         )

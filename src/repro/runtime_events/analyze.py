@@ -40,6 +40,7 @@ from repro.runtime_events.events import (
     BinStateInstalled,
     MigrationStepCompleted,
     MigrationStepIssued,
+    MigrationStepOutcome,
 )
 
 PHASES = ("drain", "extract", "ship", "install", "catch-up")
@@ -159,6 +160,10 @@ class MigrationTrace:
     def __init__(self, bus: TraceBus) -> None:
         self.steps: dict = {}
         self.bins: dict = {}
+        # Final per-step accounting (chosen batch, attempts, abandonment)
+        # as published by the controllers; cost models and the trace CLI
+        # consume these alongside the per-bin phase rows.
+        self.outcomes: dict = {}
         self._unsubscribe = bus.subscribe(self._on_event, topics=(TOPIC_MIGRATION,))
 
     def close(self) -> None:
@@ -206,6 +211,8 @@ class MigrationTrace:
             trace = self._bin(event.time, event.bin)
             trace.installed_at = event.at
             trace.deserialize_s = event.deserialize_s
+        elif kind is MigrationStepOutcome:
+            self.outcomes[event.time] = event
 
     # -- queries -------------------------------------------------------------
 
@@ -213,6 +220,14 @@ class MigrationTrace:
         """Issue→completion span of the step at ``time`` (None if pending)."""
         step = self.steps.get(time)
         return step.duration if step is not None else None
+
+    def step_outcome(self, time) -> Optional[MigrationStepOutcome]:
+        """The controller's final accounting for the step at ``time``."""
+        return self.outcomes.get(time)
+
+    def outcome_rows(self) -> list[MigrationStepOutcome]:
+        """All step outcomes in completion order."""
+        return sorted(self.outcomes.values(), key=lambda o: o.at)
 
     def phase_breakdown(self) -> MigrationBreakdown:
         """Per-bin phase attribution for every fully observed bin."""

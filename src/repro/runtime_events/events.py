@@ -20,6 +20,8 @@ Topics group events by the layer that emits them:
                 accounting-guard warnings
 ``recovery``    the recovery machinery: step timeouts/retries, worker
                 exclusion, state reinstallation, watchdog verdicts
+``planner``     the closed-loop migration planner: load samples, skew
+                detection, and plan proposal/adoption decisions
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ TOPIC_MIGRATION = "migration"
 TOPIC_MEMORY = "memory"
 TOPIC_FAULTS = "faults"
 TOPIC_RECOVERY = "recovery"
+TOPIC_PLANNER = "planner"
 
 TOPICS = (
     TOPIC_ACTIVATION,
@@ -49,6 +52,7 @@ TOPICS = (
     TOPIC_MEMORY,
     TOPIC_FAULTS,
     TOPIC_RECOVERY,
+    TOPIC_PLANNER,
 )
 
 
@@ -194,6 +198,27 @@ class MigrationStepCompleted:
 
     topic: ClassVar[str] = TOPIC_MIGRATION
     time: object
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationStepOutcome:
+    """A step's final accounting, published when it completes or is abandoned.
+
+    ``batch_size`` is the batch the controller *chose* for the step (for the
+    adaptive controller this can exceed ``moves`` on the tail step);
+    ``attempts`` counts issues including retries, so ``attempts > 1`` means
+    the step timed out at least once.  Cost models consume these to relate
+    chosen step sizes to realized durations.
+    """
+
+    topic: ClassVar[str] = TOPIC_MIGRATION
+    time: object
+    moves: int
+    batch_size: int
+    attempts: int
+    abandoned: bool
+    duration_s: float
     at: float
 
 
@@ -452,3 +477,83 @@ class WatchdogRecovered:
     topic: ClassVar[str] = TOPIC_RECOVERY
     at: float
     stalled_for_s: float
+
+
+# -- closed-loop migration planner ----------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerLoadSampled:
+    """One telemetry sample of a worker's windowed load.
+
+    ``load`` is the records applied to the worker's bins inside the
+    telemetry window; ``state_bytes`` the modeled bytes it holds (hot and
+    cold tiers combined).
+    """
+
+    topic: ClassVar[str] = TOPIC_PLANNER
+    worker: int
+    load: float
+    bins: int
+    state_bytes: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class SkewDetected:
+    """The skew detector armed: load imbalance exceeded its trigger."""
+
+    topic: ClassVar[str] = TOPIC_PLANNER
+    ratio: float
+    trigger: float
+    hot_worker: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class SkewCleared:
+    """The skew detector disarmed: imbalance fell below its release level."""
+
+    topic: ClassVar[str] = TOPIC_PLANNER
+    ratio: float
+    release: float
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class PlanProposed:
+    """The planner searched a plan and priced it."""
+
+    topic: ClassVar[str] = TOPIC_PLANNER
+    objective: str
+    moves: int
+    steps: int
+    predicted_cost_s: float
+    predicted_gain: float
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class PlanAdopted:
+    """A proposed plan passed the cost/benefit gate and was handed to a
+    migration controller (or recorded, in propose-only mode)."""
+
+    topic: ClassVar[str] = TOPIC_PLANNER
+    objective: str
+    moves: int
+    steps: int
+    predicted_cost_s: float
+    predicted_gain: float
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class PlanRejected:
+    """A proposed plan failed the cost/benefit gate (or hit the cooldown)."""
+
+    topic: ClassVar[str] = TOPIC_PLANNER
+    objective: str
+    reason: str
+    predicted_cost_s: float
+    predicted_gain: float
+    at: float

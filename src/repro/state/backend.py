@@ -66,10 +66,19 @@ class BinStats:
     last_access: int  # backend-wide access sequence number (0 = never)
     resident_bytes: int
     spilled_bytes: int
+    # Records applied to the bin since creation/installation.  Unlike
+    # ``heat`` (which ticks once per application batch) this weights by
+    # record count, so it reflects key-skew in the offered load — the
+    # signal the migration planner's telemetry aggregates.
+    records: int = 0
 
     @property
     def resident(self) -> bool:
         return self.spilled_bytes == 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.resident_bytes + self.spilled_bytes
 
 
 @dataclass
@@ -139,6 +148,7 @@ class StateBackend:
         self._size_fn = size_fn
         self.codec = codec
         self._heat: dict[object, int] = {}
+        self._records: dict[object, int] = {}
         self._last_access: dict[object, int] = {}
         self._access_seq = 0
 
@@ -151,7 +161,21 @@ class StateBackend:
 
     def _forget(self, bin_id: object) -> None:
         self._heat.pop(bin_id, None)
+        self._records.pop(bin_id, None)
         self._last_access.pop(bin_id, None)
+
+    def note_records(self, bin_id: object, count: int) -> None:
+        """Account ``count`` records applied to ``bin_id`` (load telemetry).
+
+        Pure bookkeeping — no representation change, no touch — so calling
+        it never perturbs spill/compaction policies.
+        """
+        if count > 0:
+            self._records[bin_id] = self._records.get(bin_id, 0) + count
+
+    def records_applied(self, bin_id: object) -> int:
+        """Records applied to ``bin_id`` since creation/installation."""
+        return self._records.get(bin_id, 0)
 
     def modeled_bytes(self, state: object) -> int:
         """Modeled resident bytes of one state object."""
@@ -314,6 +338,7 @@ class DictBackend(StateBackend):
             last_access=self._last_access.get(bin_id, 0),
             resident_bytes=self.modeled_bytes(state),
             spilled_bytes=0,
+            records=self._records.get(bin_id, 0),
         )
 
     # -- serialization ----------------------------------------------------------

@@ -169,6 +169,7 @@ class SortedLogBackend(DictBackend):
             last_access=self._last_access.get(bin_id, 0),
             resident_bytes=self.state_bytes(bin_id),
             spilled_bytes=0,
+            records=self._records.get(bin_id, 0),
         )
 
     # -- serialization ----------------------------------------------------------

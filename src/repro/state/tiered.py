@@ -188,6 +188,7 @@ class TieredSpillBackend(StateBackend):
             last_access=self._last_access.get(bin_id, 0),
             resident_bytes=hot,
             spilled_bytes=cold,
+            records=self._records.get(bin_id, 0),
         )
 
     # -- serialization ----------------------------------------------------------

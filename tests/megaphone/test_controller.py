@@ -6,6 +6,7 @@ from repro.megaphone.control import BinnedConfiguration
 from repro.megaphone.controller import EpochTicker, MigrationController
 from repro.megaphone.migration import make_plan
 from repro.megaphone.operators import build_migrateable
+from repro.runtime_events.events import MigrationStepOutcome
 from tests.helpers import make_dataflow
 
 
@@ -137,3 +138,35 @@ def test_empty_plan_completes_immediately():
     assert controller.result.steps == []
     ticker.stop()
     runtime.run_to_quiescence()
+
+
+def test_step_outcomes_published_on_trace_bus():
+    runtime, control_group, data_group, probe, op, initial = build_counting(
+        num_workers=2, num_bins=8
+    )
+    outcomes = []
+    runtime.sim.trace.subscribe(
+        lambda e: outcomes.append(e) if isinstance(e, MigrationStepOutcome) else None,
+        topics=("migration",),
+    )
+    ticker = EpochTicker(runtime, control_group, granularity_ms=1)
+    ticker.start()
+    target = BinnedConfiguration(tuple((w + 1) % 2 for w in initial.assignment))
+    plan = make_plan("batched", initial, target, batch_size=3)
+    controller = MigrationController(runtime, control_group, ticker, probe, plan)
+    controller.start_at(0.005)
+    feed_steadily(runtime, data_group, 60)
+    runtime.run(until=0.1)
+    assert controller.done
+    ticker.stop()
+    runtime.run_to_quiescence()
+    # One outcome per step, mirroring the result's accounting.
+    result = controller.result
+    assert len(outcomes) == len(result.steps) == len(plan.steps)
+    assert [o.moves for o in outcomes] == [s.moves for s in result.steps]
+    assert result.batch_sizes == [o.batch_size for o in outcomes]
+    assert all(o.batch_size >= o.moves for o in outcomes)
+    assert result.total_attempts == sum(o.attempts for o in outcomes)
+    assert not any(o.abandoned for o in outcomes)
+    for outcome, step in zip(outcomes, result.steps):
+        assert outcome.duration_s == pytest.approx(step.duration)

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.megaphone.control import BinnedConfiguration, ControlInst
 from repro.megaphone.migration import make_plan
 from repro.megaphone.plan_io import (
+    PlanProvenance,
     configuration_from_dict,
     configuration_to_dict,
     dump_plan,
@@ -60,6 +61,47 @@ def test_file_roundtrip(tmp_path):
     cpath = tmp_path / "config.json"
     dump_configuration(current, cpath)
     assert load_configuration(cpath) == current
+
+
+def test_provenance_roundtrip_as_version_2():
+    current = BinnedConfiguration.round_robin(8, 2)
+    target = BinnedConfiguration.contiguous(8, 2)
+    plan = make_plan("fluid", current, target)
+    plan.provenance = PlanProvenance(
+        source="planner", objective="balance", window_s=2.0, created_at=4.5
+    )
+    data = plan_to_dict(plan)
+    assert data["version"] == 2
+    assert data["provenance"]["source"] == "planner"
+    json.dumps(data)  # still plain JSON
+    restored = plan_from_dict(data)
+    assert restored.provenance == plan.provenance
+    assert restored.steps == plan.steps
+
+
+def test_provenance_free_plans_stay_version_1():
+    """Plans without provenance serialize as v1 so pre-planner readers
+    keep working byte-for-byte."""
+    current = BinnedConfiguration.round_robin(8, 2)
+    plan = make_plan("all-at-once", current, BinnedConfiguration.contiguous(8, 2))
+    data = plan_to_dict(plan)
+    assert data["version"] == 1
+    assert "provenance" not in data
+    assert plan_from_dict(data).provenance is None
+
+
+def test_version_1_documents_still_readable():
+    current = BinnedConfiguration.round_robin(8, 2)
+    plan = make_plan("batched", current, BinnedConfiguration.contiguous(8, 2), batch_size=2)
+    data = plan_to_dict(plan)
+    data["version"] = 1  # as written by an old tool
+    restored = plan_from_dict(data)
+    assert restored.steps == plan.steps
+
+
+def test_provenance_rejects_unknown_source():
+    with pytest.raises(ValueError, match="provenance source"):
+        PlanProvenance.from_dict({"source": "oracle"})
 
 
 def test_rejects_wrong_kind_and_version():

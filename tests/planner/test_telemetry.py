@@ -1,0 +1,154 @@
+"""Tests for load telemetry and the hysteresis skew detector."""
+
+from types import SimpleNamespace
+
+from repro.megaphone.bins import BinStore
+from repro.planner.telemetry import (
+    LoadTelemetry,
+    SkewDetector,
+    TelemetryConfig,
+    imbalance_ratio,
+)
+from repro.runtime_events.events import SkewCleared, SkewDetected, WorkerLoadSampled
+from repro.sim.engine import Simulator
+
+
+def make_detector(**overrides):
+    config = TelemetryConfig(
+        trigger_ratio=1.5,
+        release_ratio=1.2,
+        trigger_samples=2,
+        release_samples=2,
+        **overrides,
+    )
+    return SkewDetector(config)
+
+
+class TestSkewDetector:
+    def test_single_spike_does_not_trigger(self):
+        detector = make_detector()
+        assert detector.observe(3.0) is None
+        assert detector.observe(1.0) is None
+        assert not detector.skewed
+
+    def test_consecutive_samples_trigger(self):
+        detector = make_detector()
+        assert detector.observe(2.0) is None
+        assert detector.observe(2.0) == "triggered"
+        assert detector.skewed
+
+    def test_hysteresis_band_holds_state(self):
+        detector = make_detector()
+        detector.observe(2.0)
+        detector.observe(2.0)
+        # Between release (1.2) and trigger (1.5): holds armed forever.
+        for _ in range(10):
+            assert detector.observe(1.35) is None
+        assert detector.skewed
+
+    def test_release_needs_consecutive_samples(self):
+        detector = make_detector()
+        detector.observe(2.0)
+        detector.observe(2.0)
+        assert detector.observe(1.0) is None  # first calm sample
+        assert detector.observe(1.3) is None  # blip resets the count
+        assert detector.observe(1.0) is None
+        assert detector.observe(1.0) == "cleared"
+        assert not detector.skewed
+
+    def test_retrigger_after_clear(self):
+        detector = make_detector()
+        detector.observe(2.0)
+        detector.observe(2.0)
+        detector.observe(1.0)
+        detector.observe(1.0)
+        assert detector.observe(2.0) is None
+        assert detector.observe(2.0) == "triggered"
+
+
+def test_imbalance_ratio():
+    assert imbalance_ratio({}) == 0.0
+    assert imbalance_ratio({0: 0.0, 1: 0.0}) == 0.0
+    assert imbalance_ratio({0: 1.0, 1: 1.0}) == 1.0
+    assert imbalance_ratio({0: 3.0, 1: 1.0}) == 1.5
+
+
+# -- LoadTelemetry against real stores on a fake runtime -------------------------
+
+
+def make_runtime(num_workers: int):
+    sim = Simulator()
+    workers = [SimpleNamespace(shared={}) for _ in range(num_workers)]
+    return SimpleNamespace(sim=sim, workers=workers)
+
+
+def make_op():
+    return SimpleNamespace(config=SimpleNamespace(name="count", initial=None))
+
+
+def install_store(runtime, worker: int, bins: list[int]) -> BinStore:
+    store = BinStore(64, dict, worker_id=worker)
+    for bin_id in bins:
+        store.create(bin_id)
+    runtime.workers[worker].shared["megaphone:count"] = store
+    return store
+
+
+def test_telemetry_attributes_load_to_owner_and_detects_skew():
+    runtime = make_runtime(2)
+    hot = install_store(runtime, 0, [0, 1])
+    cold = install_store(runtime, 1, [2, 3])
+    config = TelemetryConfig(
+        sample_s=0.25, window_s=0.5, trigger_samples=2, release_samples=2
+    )
+    telemetry = LoadTelemetry(runtime, make_op(), config, num_workers=2)
+    events = []
+    runtime.sim.trace.subscribe(events.append, topics=("planner",))
+    telemetry.start(0.0)
+
+    def feed():
+        hot.note_applied(0, 90)
+        cold.note_applied(2, 10)
+        if runtime.sim.now < 2.0:
+            runtime.sim.schedule(0.25, feed)
+
+    runtime.sim.schedule_at(0.1, feed)
+    runtime.sim.run(until=2.0)
+    telemetry.stop()
+
+    loads = telemetry.worker_load()
+    assert loads[0] > loads[1] > 0.0
+    assert telemetry.imbalance() > 1.5
+    assert telemetry.skewed
+    assert telemetry.owner_of()[0] == 0
+    assert telemetry.owner_of()[2] == 1
+    kinds = [type(e) for e in events]
+    assert WorkerLoadSampled in kinds
+    assert SkewDetected in kinds
+    assert SkewCleared not in kinds
+
+
+def test_telemetry_delta_is_reset_aware():
+    """A migrated bin restarts its record counter from zero; the delta must
+    not go negative (it reads as the new owner's fresh count)."""
+    runtime = make_runtime(2)
+    src = install_store(runtime, 0, [0])
+    telemetry = LoadTelemetry(
+        runtime, make_op(), TelemetryConfig(sample_s=0.25, window_s=1.0),
+        num_workers=2,
+    )
+    telemetry.start(0.0)
+    src.note_applied(0, 100)
+    runtime.sim.run(until=0.3)  # sample sees 100
+    # Migrate: extraction forgets the bin on worker 0; it lands on worker 1
+    # with a fresh backend counter.
+    payload = src.take(0)
+    dst = install_store(runtime, 1, [])
+    dst.install(payload)
+    dst.note_applied(0, 5)
+    runtime.sim.run(until=0.6)  # sample sees cumulative 5 (< previous 100)
+    telemetry.stop()
+    window = telemetry._windows[0]
+    assert all(delta >= 0 for delta in window)
+    assert window[-1] == 5
+    assert telemetry.owner_of()[0] == 1

@@ -244,3 +244,63 @@ def test_list_names_backends_and_codecs(capsys):
     out = capsys.readouterr().out
     assert "state backends: dict, sorted-log, tiered" in out
     assert "codecs: modeled, pickle, struct" in out
+
+
+def test_list_names_planner_objectives(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "planner objectives: balance, drain, spread" in out
+    assert "planner policies:" in out
+
+
+def test_plan_command_propose_only(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    code = main([
+        "plan", "--domain", "4096", "--rate", "5000", "--duration", "4",
+        "--workers", "4", "--workers-per-process", "2", "--bins", "32",
+        "--output", str(plan_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "decision" in out
+    assert "final imbalance" in out
+    # The emitted document is a byte-valid plan_io plan with provenance.
+    from repro.megaphone.plan_io import load_plan
+
+    plan = load_plan(plan_path)
+    assert plan.steps
+    assert plan.provenance.source == "planner"
+
+
+def test_plan_command_execute(capsys):
+    code = main([
+        "plan", "--domain", "4096", "--rate", "5000", "--duration", "5",
+        "--workers", "4", "--workers-per-process", "2", "--bins", "32",
+        "--execute",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "final imbalance" in out
+
+
+def test_plan_drain_requires_targets(capsys):
+    code = main([
+        "plan", "--objective", "drain", "--duration", "2",
+    ])
+    assert code == 2
+    assert "--drain" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "argv,message",
+    [
+        (["plan", "--hot-keys", "0"], "--hot-keys must be positive"),
+        (["plan", "--hot-fraction", "1.5"], "--hot-fraction must be"),
+        (["plan", "--min-gain", "-1"], "--min-gain must be"),
+    ],
+)
+def test_plan_invalid_arguments_rejected(argv, message, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert message in capsys.readouterr().err
