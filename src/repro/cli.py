@@ -401,7 +401,7 @@ def cmd_chaos(args) -> int:
 
 def cmd_bench(args) -> int:
     """Measure hot-path throughput and write ``BENCH_hotpath.json``."""
-    from repro.perf.hotpath import run_bench, write_report
+    from repro.perf.hotpath import check_report, run_bench, write_report
 
     report = run_bench(
         args.scale,
@@ -425,6 +425,10 @@ def cmd_bench(args) -> int:
         ["workload", "records", "wall", "records/s", "events/s"],
         rows,
     )
+    print(
+        f"batch representation: {report['batch_representation']}, "
+        f"state backend: {report['state_backend']}"
+    )
     if "layers" in report:
         for workload, layers in report["layers"].items():
             top = list(layers.items())[:5]
@@ -436,6 +440,27 @@ def cmd_bench(args) -> int:
         for workload, factor in report["speedup"].items():
             base = report["baseline"][workload]["records_per_s"]
             print(f"{workload}: {factor:.2f}x vs baseline ({base:,.0f} rec/s)")
+    if args.check is not None:
+        ok, deltas = check_report(report, args.check, tolerance=args.tolerance)
+        print_table(
+            f"regression check vs {args.check} (tolerance {args.tolerance:.0%})",
+            ["workload", "committed rec/s", "current rec/s", "delta", "status"],
+            [
+                (
+                    row["workload"],
+                    f"{row['baseline_records_per_s']:,.0f}",
+                    f"{row['records_per_s']:,.0f}",
+                    f"{row['delta']:+.1%}",
+                    row["status"],
+                )
+                for row in deltas
+            ],
+        )
+        if not ok:
+            print("FAIL: throughput regressed beyond tolerance")
+            return 1
+        print("check passed")
+        return 0
     write_report(report, args.output)
     print(f"report written to {args.output}")
     return 0
@@ -446,11 +471,14 @@ def cmd_list(args) -> int:
     from repro.planner import OBJECTIVES
     from repro.state import backend_names, codec_names
 
+    from repro.runtime_events.columns import active_representation
+
     print("workloads: count (microbenchmark, uniform or skewed), "
           "nexmark (queries 1-8)")
     print(f"strategies: {', '.join(STRATEGIES)}")
     print(f"state backends: {', '.join(backend_names())}")
     print(f"codecs: {', '.join(codec_names())}")
+    print(f"batch representation: {active_representation()}")
     print(f"planner objectives: {', '.join(OBJECTIVES)}")
     print("planner policies: closed-loop (cooldown, cost/benefit gate, "
           "SLO pacing), propose-only (advisor)")
@@ -560,6 +588,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--state-backend", default="dict",
         help="state backend the benched operators run on",
+    )
+    bench.add_argument(
+        "--check", default=None, metavar="BASELINE_JSON",
+        help="compare against a committed bench report instead of writing "
+        "one; exit 1 if records/s regressed beyond the tolerance",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="allowed relative records/s drop in --check mode (default 0.15)",
     )
     bench.set_defaults(fn=cmd_bench)
 

@@ -20,7 +20,12 @@ from repro.chaos.recovery import ConfigurationLedger, RecoveryCoordinator
 from repro.chaos.watchdog import LivenessWatchdog, WatchdogConfig
 from repro.harness.latency import EpochLatencyRecorder, LatencyTimeline
 from repro.harness.openloop import OpenLoopSource
-from repro.harness.workloads import CountWorkload, SkewedCountWorkload, count_fold
+from repro.harness.workloads import (
+    CountWorkload,
+    SkewedCountWorkload,
+    columnar_count_fold,
+    count_fold,
+)
 from repro.megaphone.api import state_machine
 from repro.megaphone.control import BinnedConfiguration
 from repro.megaphone.controller import (
@@ -542,6 +547,7 @@ def _build_megaphone_count(df, control, data, cfg: ExperimentConfig):
         state_backend=cfg.state_backend,
         codec=cfg.codec,
         backend_options=cfg.backend_options(),
+        columnar_applier=columnar_count_fold,
     )
 
     def state_bytes_fn(worker: int) -> tuple:

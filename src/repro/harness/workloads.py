@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.harness.openloop import Lcg
+from repro.runtime_events import columns
+from repro.runtime_events.columns import ColumnBatch, ColumnGroup, VectorLcg
 
 
 class ModeledCountState:
@@ -57,17 +59,23 @@ class CountWorkload:
     seed: int = 1
 
     def make_generator(self):
-        """A per-worker deterministic generator of ``(key, 1)`` records."""
-        lcgs: dict[int, Lcg] = {}
+        """A per-worker deterministic generator of ``(key, 1)`` records.
+
+        Emits :class:`ColumnBatch` columns: the keys are the same draws the
+        per-record ``Lcg`` loop would produce (``VectorLcg`` is a
+        bit-identical batched jump of the same generator), the values are a
+        ones column.  Consumers that want tuples iterate the batch.
+        """
+        lcgs: dict[int, VectorLcg] = {}
         domain = self.domain
         seed = self.seed
 
-        def generate(worker: int, epoch_ms: int, count: int) -> list:
+        def generate(worker: int, epoch_ms: int, count: int) -> ColumnBatch:
             lcg = lcgs.get(worker)
             if lcg is None:
-                lcg = lcgs[worker] = Lcg(seed * 1000003 + worker)
-            nxt = lcg.next
-            return [(nxt() % domain, 1) for _ in range(count)]
+                lcg = lcgs[worker] = VectorLcg(seed * 1000003 + worker)
+            keys = columns.mod_column(lcg.next_batch(count), domain)
+            return ColumnBatch(keys, columns.ones_column(count))
 
         return generate
 
@@ -88,6 +96,54 @@ class CountWorkload:
 def count_fold(key: int, diff: int, state: ModeledCountState) -> list:
     """The counting fold: accumulate and report the key's count."""
     return [(key, state.add(key, diff))]
+
+
+def columnar_count_fold(group: ColumnGroup):
+    """Whole-group counting fold — the vectorized twin of ``count_fold``.
+
+    Must produce, per record, the exact count the per-record path computes:
+    for the ``j``-th record (1-based, arrival order) of a bin whose state
+    held ``records`` before the group, the modeled count is
+    ``1 + int((records + j) / expected_keys)``.  Float64 division plus
+    truncation is bit-identical to Python's ``int(a / b)`` here (all the
+    quantities are positive and far below 2**53).
+    """
+    starts = group.starts
+    states = group.states
+    np = columns._np
+    if np is not None and isinstance(group.keys, np.ndarray):
+        starts_arr = np.asarray(starts, dtype=np.int64)
+        sizes = np.diff(starts_arr)
+        before = np.asarray([s.records for s in states], dtype=np.int64)
+        expected = np.asarray([s.expected_keys for s in states], dtype=np.float64)
+        if (expected > 0).all():
+            total = len(group)
+            # Record ``i`` (global, 0-based) in bin ``j`` folds to
+            # ``before_j + (i + 1 - starts_j)``; hoisting the per-bin part
+            # into one base vector leaves a single repeat per column.
+            folded = np.arange(1, total + 1, dtype=np.int64) + np.repeat(
+                before - starts_arr[:-1], sizes
+            )
+            counts = 1 + (folded / np.repeat(expected, sizes)).astype(np.int64)
+            for j, state in enumerate(states):
+                state.records += int(sizes[j])
+            return ColumnBatch(group.keys, counts)
+    # Pure-array fallback (and the expected_keys <= 0 corner): the scalar
+    # fold per record, gathered into one output column.
+    from array import array
+
+    counts_col = array("q")
+    append = counts_col.append
+    for j, state in enumerate(states):
+        for _ in range(starts[j + 1] - starts[j]):
+            state.records += 1
+            if state.expected_keys > 0:
+                append(1 + int(state.records / state.expected_keys))
+            else:
+                append(state.records)
+    if np is not None and isinstance(group.keys, np.ndarray):
+        return ColumnBatch(group.keys, np.asarray(counts_col, dtype=np.int64))
+    return ColumnBatch(group.keys, counts_col)
 
 
 @dataclass

@@ -56,11 +56,17 @@ def state_machine(
     state_backend: str = "dict",
     codec: str = "modeled",
     backend_options: Optional[dict] = None,
+    columnar_applier: Optional[Callable] = None,
 ) -> MigrateableOperator:
     """Migrateable per-record state machine over ``(key, val)`` pairs.
 
     ``fold(key, val, state)`` returns the outputs caused by applying
     ``val`` to ``key``'s entry in the bin-level ``state``.
+
+    ``columnar_applier``, when given, is a whole-group fold over a
+    :class:`repro.runtime_events.columns.ColumnGroup`; S uses it for pure
+    columnar notifications and it must produce exactly the outputs and
+    state mutations ``fold`` would.
     """
     if fold is None:
         raise ValueError("a fold function is required")
@@ -86,6 +92,7 @@ def state_machine(
         state_backend=state_backend,
         codec=codec,
         backend_options=backend_options,
+        columnar_applier=columnar_applier,
     )
 
 

@@ -207,3 +207,20 @@ class BinStore:
         if records:
             self.backend.note_records(bin_id, records)
         self.backend.note_applied(bin_id)
+
+    # -- batched application (the columnar hot path) -----------------------------
+
+    def group_states(self, bin_ids) -> list:
+        """States of several resident bins, in order (BinNotResident on a
+        miss).  One backend round-trip for the whole group instead of a
+        ``get`` + ``state`` property chain per bin."""
+        bins_map = self._bins
+        for bin_id in bin_ids:
+            if bin_id not in bins_map:
+                raise BinNotResident(bin_id, self.worker_id, bins_map)
+        return self.backend.states_of_group(bin_ids)
+
+    def note_applied_group(self, bin_ids, starts) -> None:
+        """Batched :meth:`note_applied` over one sorted application group
+        (bin ``j`` applied ``starts[j+1] - starts[j]`` records)."""
+        self.backend.note_applied_group(bin_ids, starts)

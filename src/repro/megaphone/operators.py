@@ -37,6 +37,8 @@ from repro.runtime_events.events import (
 )
 from repro.megaphone.control import BinnedConfiguration, ControlInst
 from repro.megaphone.routing import RoutingTable
+from repro.runtime_events import columns
+from repro.runtime_events.columns import ColumnBatch, ColumnGroup, merge_segments
 from repro.runtime_events.items import DestinationBatch, batch_record_count
 from repro.timely.antichain import Antichain
 from repro.timely.dataflow import Stream
@@ -153,8 +155,15 @@ class _FLogic:
         """
         self._table = RoutingTable(config)
 
-    def _route_batch(self, ctx, time: Timestamp, port_tag: int, records: list) -> None:
+    def _route_batch(self, ctx, time: Timestamp, port_tag: int, records) -> None:
         config = self._config
+        if type(records) is ColumnBatch:
+            if not config.reference_routing:
+                self._route_columns(ctx, time, port_tag, records)
+                return
+            # The reference pin stays per-record: decode and fall through to
+            # the memoized binary-search loop below.
+            records = records.to_records()
         key_fn = config.key_fns[port_tag]
         bin_fn = config.bin_fn
         table = self._table
@@ -212,6 +221,69 @@ class _FLogic:
                     for dst, bins in out.items()
                 ],
             )
+
+    def _route_columns(
+        self, ctx, time: Timestamp, port_tag: int, batch: ColumnBatch
+    ) -> None:
+        """Route one columnar batch: hash, gather owners, split by destination.
+
+        Produces the same destination batches, in the same emission order
+        (first-occurrence of each destination), carrying the same per-record
+        grouping as the per-record loop — only as whole-column operations.
+        """
+        config = self._config
+        table = self._table
+        bin_col = columns.bin_ids_for(batch.keys, config.bin_shift)
+        if (
+            table.history_flat
+            and not self._pending_updates
+            and not self._pending_migrations
+        ):
+            dsts = columns.gather(table.owners_vector(), bin_col)
+        else:
+            # Mid-migration: owners must be resolved at the batch's time.
+            # All records share one timestamp, so memoize per unique bin,
+            # exactly like the per-record reference loop.
+            owner_cache: dict[int, int] = {}
+            worker_for = table.worker_for
+            dst_list = []
+            append = dst_list.append
+            for bin_id in bin_col.tolist():
+                dst = owner_cache.get(bin_id)
+                if dst is None:
+                    dst = owner_cache[bin_id] = worker_for(bin_id, time)
+                append(dst)
+            dsts = columns.make_index_vector(dst_list)
+        order, bounds = columns.split_by_destination(dsts)
+        if not bounds:
+            return
+        if order is None:
+            # Single destination: ship the batch whole, no copy.
+            out = [
+                DestinationBatch(
+                    dst=bounds[0][0],
+                    count=len(batch),
+                    bin_ids=bin_col,
+                    columns=batch,
+                    tag=port_tag,
+                )
+            ]
+        else:
+            # One gather to destination-sorted layout, then per-destination
+            # slices (views on numpy) instead of a fancy-index per segment.
+            sorted_batch = batch.take(order)
+            sorted_bins = columns.gather(bin_col, order)
+            out = [
+                DestinationBatch(
+                    dst=dst,
+                    count=hi - lo,
+                    bin_ids=sorted_bins[lo:hi],
+                    columns=sorted_batch.slice(lo, hi),
+                    tag=port_tag,
+                )
+                for dst, lo, hi in bounds
+            ]
+        ctx.send(0, time, out)
 
     def input_cost(self, ctx, port: int, records: list, size_bytes: float) -> float:
         if port == CONTROL_PORT:
@@ -389,6 +461,11 @@ class _SLogic:
         # already grouped the way application consumes them:
         # time -> {bin_id: [(tag, record), ...]}.
         self._inbox: dict[Timestamp, dict[int, list]] = {}
+        # Columnar arrivals for a time, in arrival order:
+        # time -> [(tag, bin_ids, columns), ...].  A time's data lives here
+        # or in ``_inbox`` depending on the carrier F emitted; both feed the
+        # same notification.
+        self._col_segments: dict[Timestamp, list] = {}
         # Bins with scheduled (post-dated) work at a time: time -> set of ids.
         self._scheduled_bins: dict[Timestamp, set[int]] = {}
 
@@ -405,10 +482,22 @@ class _SLogic:
         if port == S_STATE_PORT:
             self._install_state(ctx, time, records)
             return
+        if records and records[0].columns is not None:
+            # Columnar carriers: stash the segments untouched; grouping by
+            # bin happens once, at notification, over the merged columns.
+            segments = self._col_segments.get(time)
+            if segments is None:
+                segments = self._col_segments[time] = []
+                if time not in self._inbox:
+                    ctx.notify_at(time)
+            for batch in records:
+                segments.append((batch.tag, batch.bin_ids, batch.columns))
+            return
         inbox = self._inbox.get(time)
         if inbox is None:
             inbox = self._inbox[time] = {}
-            ctx.notify_at(time)
+            if time not in self._col_segments:
+                ctx.notify_at(time)
         # ``records`` are DestinationBatch groups: adopt each per-bin entry
         # list outright (F built it for us and keeps no reference), extend
         # on collision.  Per-bin entry order equals record arrival order,
@@ -477,7 +566,29 @@ class _SLogic:
 
     def on_notify(self, ctx, time: Timestamp) -> None:
         store = self._store(ctx)
+        segments = self._col_segments.pop(time, None)
+        if segments is not None:
+            config = self._config
+            if (
+                config.columnar_applier is not None
+                and time not in self._inbox
+                and time not in self._scheduled_bins
+            ):
+                self._apply_columns(ctx, store, time, segments)
+                return
         groups = self._inbox.pop(time, None) or {}
+        if segments:
+            # No columnar applier (or classic work is interleaved at this
+            # time): decode the segments into the per-bin entry shape the
+            # per-record apply loop consumes.  Segment order is arrival
+            # order, so per-bin entry order matches the classic inbox.
+            for tag, bin_ids, colbatch in segments:
+                for bin_id, record in zip(bin_ids.tolist(), colbatch.to_records()):
+                    entries = groups.get(bin_id)
+                    if entries is None:
+                        groups[bin_id] = [(tag, record)]
+                    else:
+                        entries.append((tag, record))
         # Post-dated records go first per bin: they were produced at
         # earlier times than anything arriving at ``time``.
         for bin_id in sorted(self._scheduled_bins.pop(time, ())):
@@ -521,6 +632,34 @@ class _SLogic:
         if outputs:
             ctx.send(0, time, outputs)
 
+    def _apply_columns(self, ctx, store: BinStore, time: Timestamp, segments) -> None:
+        """Vectorized application: one merged, bin-sorted fold per notification.
+
+        Equivalent to the per-record loop above for a pure columnar time
+        (no classic inbox entries, no scheduled bins): bins are visited
+        ascending, per-bin record order is arrival order, the same per-bin
+        ``note_applied`` counts land in the backend stats, and the CPU
+        charge is the same ``total * record_cost``.
+        """
+        merged = merge_segments(segments)
+        if merged is None:
+            return
+        batch, ubins, starts = merged
+        if self._config.recovery_mode:
+            states = [
+                self._bin_for(ctx, store, time, bin_id).state for bin_id in ubins
+            ]
+        else:
+            states = store.group_states(ubins)
+        group = ColumnGroup(
+            time, batch.keys, batch.vals, ubins, starts, states, ctx.worker_id
+        )
+        outputs = self._config.columnar_applier(group)
+        store.note_applied_group(ubins, starts)
+        ctx.charge(len(batch) * ctx.cost.record_cost)
+        if outputs is not None and len(outputs):
+            ctx.send(0, time, outputs)
+
 
 class MegaphoneConfig:
     """Shared construction-time configuration of one migrateable operator."""
@@ -538,12 +677,18 @@ class MegaphoneConfig:
         state_backend: str = DEFAULT_BACKEND,
         codec: str = DEFAULT_CODEC,
         backend_options: Optional[dict] = None,
+        columnar_applier: Optional[Callable] = None,
     ) -> None:
         self.name = name
         self.num_bins = num_bins
         self.initial = initial
         self.key_fns = key_fns
         self.applier = applier
+        # Optional whole-group fold over a ColumnGroup; when set, S applies
+        # a pure columnar notification in one vectorized call instead of
+        # one ApplicationContext per bin.  Must be behaviorally identical
+        # to ``applier`` — the per-record path remains the correctness pin.
+        self.columnar_applier = columnar_applier
         self.state_factory = state_factory
         self.state_size_fn = state_size_fn
         # Backend selection is per-operator; stores on every worker share
@@ -569,6 +714,8 @@ class MegaphoneConfig:
         if num_bins & (num_bins - 1) != 0 or num_bins <= 0:
             raise ValueError(f"num_bins must be a power of two, got {num_bins}")
         bits = num_bins.bit_length() - 1
+        # The columnar kernels take the shift directly; >= 64 means one bin.
+        self.bin_shift = 64 - bits if bits else 64
         if bits == 0:
             self.bin_fn = lambda key_int: 0
         else:
@@ -654,6 +801,7 @@ def build_migrateable(
     state_backend: str = DEFAULT_BACKEND,
     codec: str = DEFAULT_CODEC,
     backend_options: Optional[dict] = None,
+    columnar_applier: Optional[Callable] = None,
 ) -> MigrateableOperator:
     """Assemble the F/S pair for a migrateable operator.
 
@@ -683,6 +831,7 @@ def build_migrateable(
         state_backend=state_backend,
         codec=codec,
         backend_options=backend_options,
+        columnar_applier=columnar_applier,
     )
 
     f_inputs = [(control, Broadcast())]

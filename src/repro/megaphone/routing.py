@@ -27,10 +27,18 @@ class RoutingTable:
     ``compact`` restores flatness once old entries become unreachable.
     """
 
-    __slots__ = ("num_bins", "_times", "_workers", "current_owners", "_deep")
+    __slots__ = (
+        "num_bins",
+        "_times",
+        "_workers",
+        "current_owners",
+        "_deep",
+        "_owners_cache",
+    )
 
     def __init__(self, initial: BinnedConfiguration) -> None:
         self.num_bins = initial.num_bins
+        self._owners_cache = None
         # Per bin: parallel lists of effective times and workers.
         self._times: list[list[Timestamp]] = [[] for _ in range(self.num_bins)]
         self._workers: list[list[int]] = [list() for _ in range(self.num_bins)]
@@ -66,6 +74,7 @@ class RoutingTable:
                 self._workers[inst.bin].append(inst.worker)
                 self._deep.add(inst.bin)
             self.current_owners[inst.bin] = inst.worker
+        self._owners_cache = None
 
     def worker_for(self, bin_id: int, time: Timestamp) -> int:
         """Owner of ``bin_id`` for records at ``time``."""
@@ -84,6 +93,21 @@ class RoutingTable:
     def current_owner(self, bin_id: int) -> int:
         """Owner per the latest integrated entry."""
         return self._workers[bin_id][-1]
+
+    def owners_vector(self):
+        """``current_owners`` as an indexable column for vectorized gathers.
+
+        Cached until the next :meth:`integrate`; while the history is flat
+        the vectorized F path gathers destination workers from this column
+        in one operation instead of one ``worker_for`` call per record.
+        """
+        vec = self._owners_cache
+        if vec is None:
+            from repro.runtime_events import columns
+
+            vec = columns.make_index_vector(self.current_owners)
+            self._owners_cache = vec
+        return vec
 
     def compact(self, before: Timestamp) -> None:
         """Drop history that can no longer be queried (data frontier passed).

@@ -30,6 +30,7 @@ from typing import Callable, Optional
 
 from repro.harness.experiment import ExperimentConfig, run_count_experiment
 from repro.nexmark.harness import run_nexmark_experiment
+from repro.runtime_events.columns import active_representation
 
 # Layers reported by the per-layer CPU breakdown, matched by source path.
 _LAYERS = (
@@ -269,6 +270,7 @@ def run_bench(
         "schema": "bench-hotpath/1",
         "scale": scale.name,
         "state_backend": scale.state_backend,
+        "batch_representation": active_representation(),
         "config": asdict(scale),
         "workloads": {
             "hash_count": run_hashcount_bench(scale),
@@ -304,3 +306,49 @@ def write_report(report: dict, path: str) -> None:
     with open(path, "w", encoding="utf-8") as out:
         json.dump(report, out, indent=2, sort_keys=False)
         out.write("\n")
+
+
+def check_report(
+    report: dict, baseline_path: str, tolerance: float = 0.15
+) -> tuple[bool, list[dict]]:
+    """Compare a fresh report against a committed baseline report file.
+
+    Returns ``(ok, rows)``: one row per workload present in both reports,
+    each carrying the baseline and current ``records_per_s``, the relative
+    delta, and a status — ``"ok"``, or ``"regression"`` when throughput
+    dropped more than ``tolerance`` below the committed number.  Faster
+    runs never fail.  The scales must match: throughput at one scale says
+    nothing about another, so a mismatch raises instead of passing
+    silently.
+    """
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    baseline_scale = baseline.get("scale")
+    if baseline_scale != report.get("scale"):
+        raise ValueError(
+            f"bench scale {report.get('scale')!r} does not match the committed "
+            f"baseline's scale {baseline_scale!r}; rerun with --scale "
+            f"{baseline_scale}"
+        )
+    rows: list[dict] = []
+    ok = True
+    for workload, numbers in report["workloads"].items():
+        committed = baseline.get("workloads", {}).get(workload)
+        if committed is None:
+            continue
+        base_rps = committed["records_per_s"]
+        current_rps = numbers["records_per_s"]
+        delta = (current_rps - base_rps) / base_rps if base_rps else 0.0
+        regressed = delta < -tolerance
+        if regressed:
+            ok = False
+        rows.append(
+            {
+                "workload": workload,
+                "baseline_records_per_s": base_rps,
+                "records_per_s": current_rps,
+                "delta": round(delta, 4),
+                "status": "regression" if regressed else "ok",
+            }
+        )
+    return ok, rows

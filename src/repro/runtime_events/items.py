@@ -95,25 +95,37 @@ class DestinationBatch:
     group with a single ``route`` call, the network ships it as one payload,
     and S's inbox adopts the per-bin entry lists without regrouping.
 
-    ``bins`` maps ``bin_id -> [(tag, record), ...]`` preserving record
-    arrival order per bin; ``count`` is the total number of records, which
-    every layer that models per-record cost (CPU charge, wire bytes, trace
-    events) must use instead of ``len(records)``.
+    The carrier has two interchangeable payload layouts:
+
+    * classic: ``bins`` maps ``bin_id -> [(tag, record), ...]`` preserving
+      record arrival order per bin (``columns`` is ``None``);
+    * columnar: ``columns`` is a
+      :class:`repro.runtime_events.columns.ColumnBatch` holding the records
+      as structure-of-arrays vectors, ``bin_ids`` is the parallel bin-id
+      vector, and ``tag`` is the input-port tag shared by the whole batch
+      (``bins`` is ``None``).
+
+    ``count`` is the total number of records either way, which every layer
+    that models per-record cost (CPU charge, wire bytes, trace events) must
+    use instead of ``len(records)``.
     """
 
     dst: int
     count: int
-    bins: dict
+    bins: Optional[dict] = None
+    bin_ids: object = None
+    columns: object = None
+    tag: int = 0
 
 
-def batch_record_count(records: list) -> int:
+def batch_record_count(records) -> int:
     """Number of underlying records in a batch.
 
     Grouped carriers (``DestinationBatch``) report the records they carry;
-    plain batches report their length.  Cost models and wire-size
-    derivations must go through this so grouped and per-record paths charge
-    identically.
+    columnar batches report their column length; plain batches report their
+    length.  Cost models and wire-size derivations must go through this so
+    grouped, columnar, and per-record paths charge identically.
     """
-    if records and type(records[0]) is DestinationBatch:
+    if type(records) is list and records and type(records[0]) is DestinationBatch:
         return sum(batch.count for batch in records)
     return len(records)

@@ -113,6 +113,29 @@ class Simulator:
         heapq.heappush(self._heap, (time, seq, event))
         return event
 
+    def schedule_fast(self, delay: float, callback: Callable[[], None]) -> None:
+        """Like :meth:`schedule` but without a handle: the callback cannot be
+        cancelled, so no :class:`Event` is allocated.  Ordering is identical
+        (same sequence counter)."""
+        delay = 0.0 if delay < 0.0 else delay
+        self.schedule_fast_at(self.now + delay, callback)
+
+    def schedule_fast_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Like :meth:`schedule_at` but without a handle (not cancellable).
+
+        The heap entry carries the bare callable — the hot activation path
+        schedules hundreds of thousands of these, and skipping the Event
+        allocation is a measurable win.  Fire order is identical to
+        :meth:`schedule_at` because both draw from the same ``seq`` counter.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time!r}: simulated time is already {self.now!r}"
+            )
+        seq = self._seq + 1
+        self._seq = seq
+        heapq.heappush(self._heap, (time, seq, callback))
+
     def _note_cancelled(self) -> None:
         self._cancelled += 1
         if (
@@ -129,29 +152,39 @@ class Simulator:
         """
         # In-place (slice assignment): ``run`` holds a local alias to the
         # heap list across callbacks, so the list's identity must not change.
-        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        self._heap[:] = [
+            entry
+            for entry in self._heap
+            if entry[2].__class__ is not Event or not entry[2].cancelled
+        ]
         heapq.heapify(self._heap)
         self._cancelled = 0
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None if the heap is empty."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-            self._cancelled -= 1
-        if not self._heap:
-            return None
-        return self._heap[0][0]
+        while self._heap:
+            ev = self._heap[0][2]
+            if ev.__class__ is Event and ev.cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled -= 1
+                continue
+            return self._heap[0][0]
+        return None
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when no events remain."""
         while self._heap:
             time, _seq, event = heapq.heappop(self._heap)
-            if event.cancelled:
-                self._cancelled -= 1
-                continue
+            if event.__class__ is Event:
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                callback = event.callback
+            else:
+                callback = event
             self.now = time
             self._events_processed += 1
-            event.callback()
+            callback()
             return True
         return False
 
@@ -168,15 +201,21 @@ class Simulator:
         # stays valid across callbacks.
         heap = self._heap
         pop = heapq.heappop
+        event_cls = Event
         fired = 0
         while heap:
             if max_events is not None and fired >= max_events:
                 return
             entry = heap[0]
-            if entry[2].cancelled:
-                pop(heap)
-                self._cancelled -= 1
-                continue
+            ev = entry[2]
+            if ev.__class__ is event_cls:
+                if ev.cancelled:
+                    pop(heap)
+                    self._cancelled -= 1
+                    continue
+                callback = ev.callback
+            else:
+                callback = ev
             time = entry[0]
             if until is not None and time > until:
                 self.now = until
@@ -184,7 +223,7 @@ class Simulator:
             pop(heap)
             self.now = time
             self._events_processed += 1
-            entry[2].callback()
+            callback()
             fired += 1
         if until is not None and until > self.now:
             self.now = until

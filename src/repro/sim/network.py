@@ -125,9 +125,9 @@ class Link:
             if on_sent is not None:
                 on_sent(message)
 
-        self._sim.schedule_at(done, _sent)
+        self._sim.schedule_fast_at(done, _sent)
         delivery = done + latency
-        self._sim.schedule_at(delivery, lambda: on_delivered(message))
+        self._sim.schedule_fast_at(delivery, lambda: on_delivered(message))
         return delivery
 
     @property
@@ -248,10 +248,10 @@ class Cluster:
             self._mark_transmitted(src_proc, message)
             if message.src_worker == message.dst_worker:
                 delivery = self.sim.now
-                self.sim.schedule(0.0, lambda: on_delivered(message))
+                self.sim.schedule_fast_at(delivery, lambda: on_delivered(message))
             else:
                 delivery = self.sim.now + self.intra_process_latency
-                self.sim.schedule_at(delivery, lambda: on_delivered(message))
+                self.sim.schedule_fast_at(delivery, lambda: on_delivered(message))
             return delivery
 
         src_proc.memory.add_send_queue(message.size_bytes)

@@ -208,6 +208,31 @@ class StateBackend:
     def note_applied(self, bin_id: object) -> None:
         """Hook called after an applier mutated the bin (default no-op)."""
 
+    def states_of_group(self, bin_ids) -> list:
+        """States of several bins in order — one :meth:`state_of` each.
+
+        Backends with flat bookkeeping override this to batch the touch
+        accounting; the default preserves subclass ``state_of`` semantics
+        (promotion, spill) exactly.
+        """
+        return [self.state_of(bin_id) for bin_id in bin_ids]
+
+    def note_applied_group(self, bin_ids, starts) -> None:
+        """Batched applier bookkeeping for one sorted bin group.
+
+        ``starts`` brackets each bin's records: bin ``j`` applied
+        ``starts[j+1] - starts[j]`` records.  Equivalent to one
+        ``note_records`` + ``note_applied`` pair per bin, in order.
+        """
+        records = self._records
+        hook_overridden = type(self).note_applied is not StateBackend.note_applied
+        for j, bin_id in enumerate(bin_ids):
+            count = starts[j + 1] - starts[j]
+            if count > 0:
+                records[bin_id] = records.get(bin_id, 0) + count
+            if hook_overridden:
+                self.note_applied(bin_id)
+
     # -- key-level access (mapping states) --------------------------------------
 
     def get(self, bin_id: object, key: object, default: object = None) -> object:
@@ -314,6 +339,23 @@ class DictBackend(StateBackend):
         state = self._states[bin_id]
         self._touch(bin_id)
         return state
+
+    def states_of_group(self, bin_ids) -> list:
+        # The flat backend's ``state_of`` is a dict read plus ``_touch``:
+        # inline both over the group, bumping the access sequence in the
+        # same per-bin order one call at a time would.
+        states = self._states
+        heat = self._heat
+        last = self._last_access
+        seq = self._access_seq
+        out = []
+        for bin_id in bin_ids:
+            seq += 1
+            heat[bin_id] = heat.get(bin_id, 0) + 1
+            last[bin_id] = seq
+            out.append(states[bin_id])
+        self._access_seq = seq
+        return out
 
     def put_state(self, bin_id: object, state: object) -> None:
         self._states[bin_id] = state

@@ -311,7 +311,8 @@ class Runtime:
         ):
             return
         self._progress_scheduled = True
-        self.sim.schedule(0.0, self._progress_step)
+        sim = self.sim
+        sim.schedule_fast_at(sim.now, self._progress_step)
 
     def _progress_step(self) -> None:
         self._progress_scheduled = False

@@ -453,8 +453,10 @@ class WorkerRuntime:
         if self._activation_scheduled or not self.alive:
             return
         self._activation_scheduled = True
-        at = max(self._runtime.sim.now, self._busy_until)
-        self._runtime.sim.schedule_at(at, self._run_activation)
+        sim = self._runtime.sim
+        busy = self._busy_until
+        at = sim.now if sim.now >= busy else busy
+        sim.schedule_fast_at(at, self._run_activation)
 
     def _run_activation(self) -> None:
         self._activation_scheduled = False
@@ -466,18 +468,22 @@ class WorkerRuntime:
             if stalled_until > sim.now:
                 # Hard stall window: defer the whole activation to its end.
                 self._activation_scheduled = True
-                sim.schedule_at(stalled_until, self._run_activation)
+                sim.schedule_fast_at(stalled_until, self._run_activation)
                 return
         trace = sim.trace
         if trace.wants_activation:
             trace.publish(ActivationBegin(worker=self.worker_id, at=sim.now))
-        start = max(sim.now, self._busy_until)
+        busy = self._busy_until
+        start = sim.now if sim.now >= busy else busy
         cost = 0.0
         sends: list[tuple[OpContext, BufferedSend]] = []
         # Progress *decrements* (consumed messages, released capabilities)
         # take effect when the CPU work completes, not when it starts —
         # otherwise frontiers would advance before the cost of advancing
-        # them was paid, and backlog would be invisible to latency.
+        # them was paid, and backlog would be invisible to latency.  Each
+        # entry is a ``(is_message, index, time)`` triple rather than a
+        # closure: the dispatch in ``_complete`` is the same two tracker
+        # calls, minus one lambda allocation per entry.
         deferred: list = []
 
         cost += self._deliver_frontiers(sends, deferred)
@@ -498,16 +504,20 @@ class WorkerRuntime:
         # ``busy_until`` anyway); this halves the hot path's event volume.
         dispatch = self._flush_sends(sends) if sends else None
         if dispatch is not None or deferred:
+            tracker = self._runtime.tracker
 
             def _complete() -> None:
                 if dispatch is not None:
                     dispatch()
                 if deferred:
-                    for fn in deferred:
-                        fn()
+                    for is_message, index, t in deferred:
+                        if is_message:
+                            tracker.message_consumed(index, t)
+                        else:
+                            tracker.capability_update(index, t, -1)
                     self._runtime.mark_progress()
 
-            sim.schedule_at(self._busy_until, _complete)
+            sim.schedule_fast_at(self._busy_until, _complete)
         if trace.wants_activation:
             trace.publish(
                 ActivationEnd(
@@ -530,7 +540,6 @@ class WorkerRuntime:
         pending = sorted(self._frontier_pending)
         self._frontier_pending.clear()
         cost_model = self._runtime.cluster.cost
-        tracker = self._runtime.tracker
         for op_index in pending:
             ctx = self.contexts[op_index]
             on_frontier = self._on_frontier[op_index]
@@ -548,19 +557,20 @@ class WorkerRuntime:
                         on_notify(ctx, time)
                 finally:
                     ctx._current_batch_time = None
-                deferred.append(
-                    lambda op=op_index, t=time: tracker.capability_update(op, t, -1)
-                )
+                deferred.append((0, op_index, time))
                 cost += cost_model.progress_update_cost
-            cost += ctx._take_extra_cost()
-            buffered = ctx._take_sends()
+            if ctx._extra_cost:
+                cost += ctx._extra_cost
+                ctx._extra_cost = 0.0
+            buffered = ctx._send_buffer
             if buffered:
-                sends.extend((ctx, item) for item in buffered)
+                ctx._send_buffer = []
+                for item in buffered:
+                    sends.append((ctx, item))
         return cost
 
     def _process_one(self, item, sends: list, deferred: list) -> float:
         cost_model = self._runtime.cluster.cost
-        tracker = self._runtime.tracker
         trace = self._runtime.sim.trace
         if type(item) is SourceWork:
             op_index = item.op_index
@@ -589,9 +599,7 @@ class WorkerRuntime:
             finally:
                 ctx._current_batch_time = None
             # Release the per-batch capability InputHandle.send registered.
-            deferred.append(
-                lambda op=op_index, t=time: tracker.capability_update(op, t, -1)
-            )
+            deferred.append((0, op_index, time))
         else:
             channel = item.channel
             time = item.time
@@ -625,13 +633,15 @@ class WorkerRuntime:
                 self._on_input[op_index](ctx, channel.dst_port, time, records)
             finally:
                 ctx._current_batch_time = None
-            deferred.append(
-                lambda ch=channel.index, t=time: tracker.message_consumed(ch, t)
-            )
-        cost += ctx._take_extra_cost()
-        buffered = ctx._take_sends()
+            deferred.append((1, channel.index, time))
+        if ctx._extra_cost:
+            cost += ctx._extra_cost
+            ctx._extra_cost = 0.0
+        buffered = ctx._send_buffer
         if buffered:
-            sends.extend((ctx, item) for item in buffered)
+            ctx._send_buffer = []
+            for send_item in buffered:
+                sends.append((ctx, send_item))
         return cost
 
     def _flush_sends(self, sends: list) -> Optional[Callable[[], None]]:
@@ -667,14 +677,20 @@ class WorkerRuntime:
             for channel in runtime.channels_from(ctx.op_index, buffered.port):
                 parts = self._partition(channel, records)
                 for dst_worker, batch in parts.items():
-                    batch_count = batch_record_count(batch)
-                    fraction = batch_count / max(total_count, 1)
+                    batch_count = (
+                        total_count if batch is records else batch_record_count(batch)
+                    )
                     if buffered.size_bytes is None:
                         bytes_ = batch_count * cost_model.message_bytes_per_record
+                        retained = buffered.retained_bytes
+                        if retained:
+                            retained *= batch_count / (total_count or 1)
                     else:
                         # Explicit sizes (migrating state) are per-send,
                         # split proportionally if fanned out.
+                        fraction = batch_count / (total_count or 1)
                         bytes_ = buffered.size_bytes * fraction
+                        retained = buffered.retained_bytes * fraction
                     runtime.tracker.message_sent(channel.index, time)
                     outgoing.append(
                         RoutedSend(
@@ -683,7 +699,7 @@ class WorkerRuntime:
                             time=time,
                             records=batch,
                             size_bytes=bytes_,
-                            retained_bytes=buffered.retained_bytes * fraction,
+                            retained_bytes=retained,
                         )
                     )
             # In-flight counts now cover the batch: drop the send guard.
@@ -714,6 +730,10 @@ class WorkerRuntime:
                         )
                 runtime.mark_progress()
                 return
+            # Injected faults can only drop messages while a chaos injector
+            # is attached; without one the per-message compensation closure
+            # can never fire, so skip allocating it.
+            chaos_attached = runtime.cluster.chaos is not None
             for routed in outgoing:
                 message = NetworkMessage(
                     src_worker=self.worker_id,
@@ -728,7 +748,11 @@ class WorkerRuntime:
                     # A link fault may lose the message in the network; the
                     # in-flight count it carries must then be consumed here,
                     # or the channel frontier would wait forever for it.
-                    on_dropped=lambda _msg, r=routed: _compensate_drop(r),
+                    on_dropped=(
+                        (lambda _msg, r=routed: _compensate_drop(r))
+                        if chaos_attached
+                        else None
+                    ),
                 )
                 runtime.cluster.send(message, _deliver)
 

@@ -1,0 +1,191 @@
+"""Unit tests of the columnar batch kernels (both representations).
+
+Every kernel in ``repro.runtime_events.columns`` carries a bit-exactness
+contract against its scalar reference; these tests pin the contract for the
+active (numpy) representation and — by monkeypatching the module-global
+``_np`` to ``None`` — for the pure-``array`` fallback, so the optional
+numpy dependency can disappear without changing a single simulated bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.openloop import Lcg
+from repro.runtime_events import columns
+from repro.runtime_events.columns import ColumnBatch, VectorLcg
+from repro.runtime_events.items import DestinationBatch, batch_record_count
+
+
+@pytest.fixture(params=["active", "fallback"])
+def representation(request, monkeypatch):
+    """Run a test under the active representation and the array fallback."""
+    if request.param == "fallback":
+        monkeypatch.setattr(columns, "_np", None)
+    return request.param
+
+
+def _scalar_bin(key: int, shift: int) -> int:
+    mask = (1 << 64) - 1
+    value = (key + 0x9E3779B97F4A7C15) & mask
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & mask
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & mask
+    return (value ^ (value >> 31)) >> shift
+
+
+def test_roundtrip_kv(representation):
+    records = [(7, 1), (2**63 + 5, -3), (0, 1), (123456789, 42)]
+    batch = ColumnBatch.from_records(records)
+    assert len(batch) == 4
+    assert batch.to_records() == records
+    assert list(batch) == records
+    assert batch.key_list() == [r[0] for r in records]
+    assert batch_record_count(batch) == 4
+
+
+def test_roundtrip_objects(representation):
+    objs = ["a", "b", "c"]
+    batch = ColumnBatch.from_objects(objs, [10, 20, 30])
+    assert batch.to_records() == objs
+    assert batch.key_list() == [10, 20, 30]
+
+
+def test_take_and_slice(representation):
+    records = [(k, k * 2) for k in range(10)]
+    batch = ColumnBatch.from_records(records)
+    sel = columns.make_index_vector([1, 3, 5])
+    taken = batch.take(sel)
+    assert taken.to_records() == [records[1], records[3], records[5]]
+    sliced = batch.slice(2, 5)
+    assert sliced.to_records() == records[2:5]
+
+
+def test_concat(representation):
+    a = ColumnBatch.from_records([(1, 1), (2, 1)])
+    b = ColumnBatch.from_records([(3, 1)])
+    merged = ColumnBatch.concat([a, b])
+    assert merged.to_records() == [(1, 1), (2, 1), (3, 1)]
+
+
+def test_bin_ids_match_scalar_splitmix(representation):
+    keys = [0, 1, 2**64 - 1, 0x9E3779B97F4A7C15, 424242, 2**63]
+    shift = 64 - 8  # 256 bins
+    batch = ColumnBatch.from_kv(keys, [1] * len(keys))
+    got = list(columns.bin_ids_for(batch.keys, shift))
+    assert [int(b) for b in got] == [_scalar_bin(k, shift) for k in keys]
+
+
+def test_bin_ids_single_bin(representation):
+    batch = ColumnBatch.from_kv([5, 6], [1, 1])
+    assert [int(b) for b in columns.bin_ids_for(batch.keys, 64)] == [0, 0]
+
+
+def test_vector_lcg_matches_scalar(representation):
+    seed = 1000003 * 7 + 3
+    scalar = Lcg(seed)
+    vector = VectorLcg(seed)
+    expected = [scalar.next() for _ in range(40)]
+    got = list(vector.next_batch(25)) + list(vector.next_batch(15))
+    assert [int(v) for v in got] == expected
+
+
+def test_vector_lcg_empty_batch(representation):
+    vector = VectorLcg(9)
+    assert len(vector.next_batch(0)) == 0
+
+
+def test_split_by_destination_first_occurrence_order(representation):
+    dsts = columns.make_index_vector([2, 0, 2, 1, 0, 2])
+    order, bounds = columns.split_by_destination(dsts)
+    assert [dst for dst, _lo, _hi in bounds] == [2, 0, 1]
+    seen = []
+    for dst, lo, hi in bounds:
+        positions = [int(order[i]) for i in range(lo, hi)]
+        # Within a destination, arrival order is preserved.
+        assert positions == sorted(positions)
+        seen.extend(positions)
+    assert sorted(seen) == list(range(6))
+
+
+def test_split_by_destination_single_destination(representation):
+    dsts = columns.make_index_vector([3, 3, 3])
+    order, bounds = columns.split_by_destination(dsts)
+    assert order is None
+    assert bounds == [(3, 0, 3)]
+
+
+def test_split_by_destination_empty(representation):
+    order, bounds = columns.split_by_destination(columns.make_index_vector([]))
+    assert order is None
+    assert bounds == []
+
+
+def test_group_by_bin_sorted(representation):
+    bins = columns.make_index_vector([5, 1, 5, 1, 9])
+    order, ubins, starts = columns.group_by_bin_sorted(bins)
+    assert ubins == [1, 5, 9]
+    assert starts == [0, 2, 4, 5]
+    assert [int(order[i]) for i in range(5)] == [1, 3, 0, 2, 4]
+
+
+def test_group_by_bin_sorted_empty(representation):
+    order, ubins, starts = columns.group_by_bin_sorted(
+        columns.make_index_vector([])
+    )
+    assert list(order) == []
+    assert ubins == []
+    assert starts == [0]
+
+
+def test_active_representation_names():
+    assert columns.active_representation() in (
+        "columnar-numpy",
+        "columnar-array",
+    )
+
+
+def test_fallback_representation_name(monkeypatch):
+    monkeypatch.setattr(columns, "_np", None)
+    assert columns.active_representation() == "columnar-array"
+    assert not columns.numpy_active()
+
+
+def test_fallback_columns_are_stdlib_arrays(monkeypatch):
+    from array import array
+
+    monkeypatch.setattr(columns, "_np", None)
+    batch = ColumnBatch.from_records([(1, 2), (3, 4)])
+    assert isinstance(batch.keys, array)
+    assert isinstance(batch.vals, array)
+    assert batch.to_records() == [(1, 2), (3, 4)]
+
+
+def test_import_without_numpy_selects_fallback(monkeypatch):
+    """Executing the module with numpy unimportable lands on the fallback.
+
+    Loaded under a throwaway name so the shared module object (and every
+    ``from columns import ...`` binding elsewhere) stays untouched.
+    """
+    import importlib.util
+    import sys
+
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    spec = importlib.util.spec_from_file_location(
+        "repro_columns_no_numpy", columns.__file__
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module._np is None
+    assert module.active_representation() == "columnar-array"
+    batch = module.ColumnBatch.from_records([(1, 2), (3, 4)])
+    assert batch.to_records() == [(1, 2), (3, 4)]
+
+
+def test_destination_batch_count_over_mixed_layouts(representation):
+    colbatch = ColumnBatch.from_records([(1, 1), (2, 1), (3, 1)])
+    grouped = [
+        DestinationBatch(dst=0, count=3, bin_ids=None, columns=colbatch),
+        DestinationBatch(dst=1, count=2, bins={4: [(0, (9, 1)), (0, (9, 1))]}),
+    ]
+    assert batch_record_count(grouped) == 5
+    assert batch_record_count([(1, 1), (2, 1)]) == 2

@@ -178,6 +178,62 @@ def test_bench_rejects_bad_scale_and_repeats(capsys):
     assert "--repeats must be positive" in capsys.readouterr().err
 
 
+def test_bench_check_passes_against_own_numbers(tmp_path, capsys):
+    import json
+
+    baseline_path = tmp_path / "baseline.json"
+    code = main(["bench", "--scale", "tiny", "--no-layers",
+                 "--output", str(baseline_path)])
+    assert code == 0
+    capsys.readouterr()
+    # The workload is deterministic and wall-clock noise is far below the
+    # generous tolerance, so a fresh run checks clean against itself.
+    code = main(["bench", "--scale", "tiny", "--no-layers",
+                 "--check", str(baseline_path), "--tolerance", "0.9"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "regression check vs" in out
+    assert "check passed" in out
+    # Check mode never overwrites the compared report.
+    assert json.loads(baseline_path.read_text())["scale"] == "tiny"
+
+
+def test_bench_check_fails_on_regression(tmp_path, capsys):
+    import json
+
+    baseline_path = tmp_path / "baseline.json"
+    code = main(["bench", "--scale", "tiny", "--no-layers",
+                 "--output", str(baseline_path)])
+    assert code == 0
+    baseline = json.loads(baseline_path.read_text())
+    # An impossibly fast committed baseline makes any real run a regression.
+    for numbers in baseline["workloads"].values():
+        numbers["records_per_s"] *= 1000.0
+    baseline_path.write_text(json.dumps(baseline))
+    capsys.readouterr()
+    code = main(["bench", "--scale", "tiny", "--no-layers",
+                 "--check", str(baseline_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "regression" in out
+    assert "FAIL: throughput regressed beyond tolerance" in out
+
+
+def test_bench_check_rejects_scale_mismatch(tmp_path, capsys):
+    import json
+
+    baseline_path = tmp_path / "baseline.json"
+    code = main(["bench", "--scale", "tiny", "--no-layers",
+                 "--output", str(baseline_path)])
+    assert code == 0
+    baseline = json.loads(baseline_path.read_text())
+    baseline["scale"] = "full"
+    baseline_path.write_text(json.dumps(baseline))
+    with pytest.raises(ValueError, match="does not match the committed"):
+        main(["bench", "--scale", "tiny", "--no-layers",
+              "--check", str(baseline_path)])
+
+
 def test_profile_flag_prints_cumulative_stats(tmp_path, capsys):
     out_path = tmp_path / "bench.json"
     code = main(["--profile", "bench", "--scale", "tiny", "--no-layers",
