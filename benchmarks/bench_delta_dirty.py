@@ -1,0 +1,102 @@
+"""Delta migration: shipped bytes and move duration vs dirty fraction.
+
+The base-then-delta protocol ships each moving bin's full snapshot off the
+critical path when the migration is announced, and only the keys dirtied
+since when the move executes.  The execution-time cost therefore scales
+with the *dirty fraction*, not the bin size — the property this sweep
+charts.
+
+For each fraction f a WAL-backed bin with ``KEYS`` keys takes a base
+snapshot, dirties f of its keys, and extracts the delta; shipped bytes are
+the backend's serialized payload sizes and durations come from the
+planner's cost model (prior rates, chaos-scale bandwidth), so duration is
+the same per-byte pricing ``predict_plan_s(dirty_fraction=...)`` uses.
+
+Acceptance line: at 10% dirty the delta ships < 25% of the whole-bin
+bytes.
+"""
+
+from _common import run_once
+
+from repro.harness.report import format_bytes, print_table
+from repro.megaphone.bins import BinStore
+from repro.planner.cost import MigrationCostModel
+from repro.state.wal import WalRegistry
+
+KEYS = 512
+BYTES_PER_KEY = 2048.0
+FRACTIONS = (0.01, 0.05, 0.10, 0.25, 0.50, 1.00)
+# The chaos-scale fabric (4 MB/s): slow enough that shipped bytes, not
+# fixed overheads, dominate the move.
+BANDWIDTH = 4e6
+
+
+def _extract_pair(fraction):
+    """(base, delta, full) payloads for one bin at ``fraction`` dirty."""
+    store = BinStore(
+        num_bins=2,
+        state_factory=dict,
+        bytes_per_key=BYTES_PER_KEY,
+        worker_id=0,
+        backend="wal",
+        backend_options={"wal_registry": WalRegistry()},
+    )
+    store.create(0)
+    state = store.get(0).state
+    for key in range(KEYS):
+        state[key] = key
+    store.note_applied(0, KEYS)
+    base = store.extract(0, remove=False)
+    dirty = max(1, round(fraction * KEYS))
+    for key in range(dirty):
+        state[key] = -key
+    store.note_applied(0, dirty)
+    delta = store.extract(0, remove=False, dirty_since=base.base_epoch)
+    full = store.extract(0, remove=False)
+    return base, delta, full
+
+
+def bench_delta_dirty(benchmark, sink):
+    sweep = run_once(
+        benchmark, lambda: [(f, _extract_pair(f)) for f in FRACTIONS]
+    )
+
+    model = MigrationCostModel(bandwidth_bytes_per_s=BANDWIDTH)
+    rows = []
+    ratios = {}
+    durations = {}
+    for fraction, (base, delta, full) in sweep:
+        assert delta.kind == "delta" and full.kind == "full"
+        ratio = delta.size_bytes / full.size_bytes
+        ratios[fraction] = ratio
+        durations[fraction] = model.predict_move_s(
+            delta.size_bytes, kind="delta"
+        )
+        rows.append(
+            (
+                f"{fraction * 100:5.1f}%",
+                format_bytes(delta.size_bytes),
+                format_bytes(full.size_bytes),
+                f"{ratio * 100:5.1f}%",
+                f"{durations[fraction] * 1000:8.2f}",
+            )
+        )
+    full_move_s = model.predict_move_s(sweep[0][1][2].size_bytes, kind="full")
+    print_table(
+        f"delta shipment vs dirty fraction ({KEYS} keys/bin, "
+        f"{format_bytes(int(BYTES_PER_KEY))}/key)",
+        ["dirty", "delta bytes", "full bytes", "ratio", "move [ms]"],
+        rows,
+        out=sink,
+    )
+    sink(f"whole-bin move {full_move_s * 1000:8.2f} ms")
+
+    # Shipped bytes (hence durations) grow monotonically with dirtiness...
+    ordered = [ratios[f] for f in FRACTIONS]
+    assert ordered == sorted(ordered)
+    assert durations[FRACTIONS[0]] < durations[FRACTIONS[-1]]
+    # ...a fully-dirtied bin ships (at least) the whole bin again...
+    assert ratios[1.00] >= 0.9
+    # ...and the acceptance line: 10% dirty ships < 25% of the bin.
+    assert ratios[0.10] < 0.25
+    assert durations[0.10] < 0.25 * full_move_s

@@ -34,7 +34,14 @@ from repro.harness.experiment import (
 from repro.megaphone.controller import RetryPolicy
 from repro.megaphone.migration import STRATEGIES, imbalanced_target
 
-SCENARIOS = ("crash-target", "crash-restart", "partition", "stall", "lossy")
+SCENARIOS = (
+    "crash-target",
+    "crash-restart",
+    "crash-storage",
+    "partition",
+    "stall",
+    "lossy",
+)
 
 # Offset from the first migration start to the fault onset: long enough for
 # the first control step to be issued, short enough to land mid-migration.
@@ -114,6 +121,25 @@ def scenario_chaos(
                     restart_after_s=restart_after_s
                     if restart_after_s is not None
                     else 1.0,
+                ),
+            ),
+        )
+    elif scenario == "crash-storage":
+        # Crash-restart with storage damage: the final frame is torn and
+        # the unsynced tail is lost.  Meaningful on a durable backend
+        # (recovery must detect and truncate the damage); identical to
+        # crash-restart on in-memory ones.
+        plan = FaultPlan(
+            seed=seed,
+            crashes=(
+                ProcessCrash(
+                    at_s=at_s,
+                    process=migration_target_process(cfg),
+                    restart_after_s=restart_after_s
+                    if restart_after_s is not None
+                    else 1.0,
+                    torn_write=True,
+                    lose_unsynced_tail=True,
                 ),
             ),
         )

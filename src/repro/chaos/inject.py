@@ -43,6 +43,11 @@ from repro.runtime_events.events import (
 # {"crash", "restart"}.
 MembershipCallback = Callable[[str, int, tuple], None]
 
+# Crash-storage hook: (crash, workers) — invoked at crash time so durable
+# storage can suffer the crash's modeled damage (torn frame, lost tail,
+# bit flips) before any recovery replays it.
+StorageHook = Callable[[ProcessCrash, tuple], None]
+
 
 class ChaosInjector:
     """Schedules and enforces one :class:`FaultPlan` on one runtime."""
@@ -55,6 +60,7 @@ class ChaosInjector:
         self._dead_processes: set[int] = set()
         self._active_link_faults: list[LinkFault] = []
         self._callbacks: list[MembershipCallback] = []
+        self._storage_hooks: list[StorageHook] = []
         self.installed = False
 
     # -- wiring ----------------------------------------------------------------
@@ -84,6 +90,19 @@ class ChaosInjector:
     def on_membership_change(self, callback: MembershipCallback) -> None:
         """Register for crash/restart notifications."""
         self._callbacks.append(callback)
+
+    def on_crash_storage(self, hook: StorageHook) -> None:
+        """Register a hook applying a crash's storage faults to durable state.
+
+        Hooks run inside the crash event, after the process is marked dead
+        and before membership callbacks — so by the time any recovery
+        logic observes the crash, the log damage is already on disk.
+        Randomness (bit-flip positions, torn-frame length) comes from a
+        seed derived per crash, never from the plan's lossy-link RNG, so
+        the determinism contract ("crashes consume no plan randomness")
+        holds.
+        """
+        self._storage_hooks.append(hook)
 
     # -- membership view -------------------------------------------------------
 
@@ -183,6 +202,8 @@ class ChaosInjector:
         # Its heap is gone; in-queue network bytes drain off-host.
         process.memory.state_bytes = 0.0
         process.memory.recv_buffer_bytes = 0.0
+        for hook in list(self._storage_hooks):
+            hook(crash, tuple(process.worker_ids))
         trace = runtime.sim.trace
         if trace.wants_faults:
             trace.publish(

@@ -29,12 +29,22 @@ class ProcessCrash:
     and in-flight messages addressed to its workers are dropped on arrival.
     With ``restart_after_s`` set, the process rejoins that many seconds
     later with freshly installed (empty) operators; the recovery
-    coordinator may then reseed state from a snapshot.
+    coordinator may then reseed state from a snapshot — or, on a durable
+    backend, replay each worker's write-ahead log.
+
+    The storage-fault knobs model what the crash does to that durable log:
+    ``torn_write`` appends a partial final frame (a write in flight at
+    power-off), ``lose_unsynced_tail`` destroys every byte past the fsync
+    horizon, and ``bit_flips`` flips that many seeded bits anywhere in the
+    log.  All three are no-ops for in-memory backends.
     """
 
     at_s: float
     process: int
     restart_after_s: Optional[float] = None
+    torn_write: bool = False
+    lose_unsynced_tail: bool = False
+    bit_flips: int = 0
 
 
 @dataclass(frozen=True)
@@ -94,6 +104,10 @@ class FaultPlan:
             if crash.restart_after_s is not None and crash.restart_after_s <= 0:
                 raise ValueError(
                     f"restart_after_s must be positive, got {crash.restart_after_s}"
+                )
+            if crash.bit_flips < 0:
+                raise ValueError(
+                    f"bit_flips must be >= 0, got {crash.bit_flips}"
                 )
         by_process: dict[int, list[ProcessCrash]] = {}
         for crash in self.crashes:

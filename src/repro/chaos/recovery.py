@@ -25,11 +25,35 @@ observable loss is the fault model's documented trade.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
+from collections.abc import MutableMapping
 from typing import Callable, Optional
 
 from repro.megaphone.bins import BinStore
 from repro.megaphone.control import BinnedConfiguration, ControlInst
-from repro.runtime_events.events import StateReinstalled
+from repro.runtime_events.events import StateReinstalled, StorageFaultReport
+
+
+def store_fingerprint(store: BinStore) -> str:
+    """Deterministic digest of a store's resident bin states.
+
+    Bins are visited in sorted order; mapping states are canonicalized by
+    sorted items, so two stores holding equal state hash equally regardless
+    of insertion order or representation (dict vs durable log).  Pending
+    (in-flight) records are excluded — they die with a crash by design, so
+    fingerprints compare exactly what recovery guarantees: the state.
+    """
+    digest = hashlib.sha256()
+    for bin_id in sorted(store.resident_bins()):
+        payload = store.extract(bin_id, remove=False)
+        state = payload.decode_state(copy=False)
+        if isinstance(state, (dict, MutableMapping)):
+            canonical = sorted(state.items())
+        else:
+            canonical = state
+        digest.update(pickle.dumps((bin_id, canonical), protocol=4))
+    return digest.hexdigest()
 
 
 class ConfigurationLedger:
@@ -69,13 +93,25 @@ class RecoveryCoordinator:
         ledger: ConfigurationLedger,
         injector=None,
         snapshot_provider: Optional[Callable[[], object]] = None,
+        durable: bool = False,
     ) -> None:
         self._runtime = runtime
         self._op = op
         self._ledger = ledger
         self._snapshot_provider = snapshot_provider
+        # Durable mode: restarted workers rebuild their bins by replaying
+        # their own write-ahead log instead of reinstalling an in-memory
+        # snapshot.  The log is the truth; snapshots are not consulted on
+        # the restart path.  (The crash path is unchanged — a dead worker's
+        # local log is unreachable until its process returns, so bins
+        # retargeted to survivors still restore from the snapshot.)
+        self.durable = durable
         self.restored_bins = 0
         self.recreated_stores = 0
+        # worker -> fingerprint of the state its restart recovered (durable
+        # mode only); experiments compare these across fault variants.
+        self.recovered_fingerprints: dict[int, str] = {}
+        self.storage_faults: list[StorageFaultReport] = []
         if injector is not None:
             injector.on_membership_change(self._on_membership)
 
@@ -112,7 +148,7 @@ class RecoveryCoordinator:
     def _on_membership(self, kind: str, process: int, workers: tuple) -> None:
         if kind != "restart":
             return
-        snapshot = self._snapshot()
+        snapshot = None if self.durable else self._snapshot()
         for worker in workers:
             # The reinstalled F believes the initial configuration; hand it
             # the assignment the control stream has converged to.
@@ -120,22 +156,69 @@ class RecoveryCoordinator:
                 self._ledger.current
             )
             # Fresh store seeded with the bins the ledger places here (the
-            # worker's ``shared`` dict was wiped by the reinstall).
+            # worker's ``shared`` dict was wiped by the reinstall).  A
+            # durable backend replays its surviving log inside the store
+            # constructor, so the store may come back already holding bins.
             assigned = self._ledger.bins_of(worker)
             store = self._store_of(worker, seed=None)
             restored = 0
             size = 0
-            for bin_id in assigned:
-                if not store.has(bin_id):
-                    store.create(bin_id)
-                if snapshot is not None and bin_id in snapshot.bins:
-                    store.restore_state(bin_id, snapshot.bins[bin_id].payload)
-                    restored += 1
-                    size += store.state_size(bin_id)
+            if self.durable:
+                restored, size = self._reconcile_durable(worker, store, assigned)
+            else:
+                for bin_id in assigned:
+                    if not store.has(bin_id):
+                        store.create(bin_id)
+                    if snapshot is not None and bin_id in snapshot.bins:
+                        store.restore_state(bin_id, snapshot.bins[bin_id].payload)
+                        restored += 1
+                        size += store.state_size(bin_id)
             self.recreated_stores += 1
             self.restored_bins += restored
             self._trace_reinstall(worker, len(assigned), restored, size)
         self._runtime.mark_progress()
+
+    def _reconcile_durable(
+        self, worker: int, store: BinStore, assigned: list
+    ) -> tuple[int, float]:
+        """Align a log-replayed store with the ledger's current assignment.
+
+        The configuration may have moved bins off this worker while it was
+        dead (a recovery control step retargeted them to survivors): those
+        replayed bins are stale and dropped.  Bins the ledger assigns here
+        that the log does not hold start empty.  Publishes a
+        :class:`StorageFaultReport` when the replay found crash damage, and
+        fingerprints what survived.
+        """
+        recovered = set(store.resident_bins())
+        assigned_set = set(assigned)
+        for bin_id in sorted(recovered - assigned_set):
+            store.drop(bin_id)
+        for bin_id in sorted(assigned_set - recovered):
+            store.create(bin_id)
+        restored = 0
+        size = 0
+        for bin_id in sorted(recovered & assigned_set):
+            restored += 1
+            size += store.state_size(bin_id)
+        recovery = getattr(store.backend, "last_recovery", None)
+        if recovery is not None and not recovery.clean:
+            report = StorageFaultReport(
+                worker=worker,
+                torn_frame=recovery.torn_frame,
+                corrupt_frame=recovery.corrupt_frame,
+                lost_tail_bytes=recovery.lost_tail_bytes,
+                truncated_bytes=recovery.truncated_bytes,
+                frames_replayed=recovery.frames_replayed,
+                bins_recovered=recovery.bins_recovered,
+                at=self._runtime.sim.now,
+            )
+            self.storage_faults.append(report)
+            trace = self._runtime.sim.trace
+            if trace.wants_faults:
+                trace.publish(report)
+        self.recovered_fingerprints[worker] = store_fingerprint(store)
+        return restored, size
 
     # -- helpers ---------------------------------------------------------------
 
@@ -169,7 +252,10 @@ class RecoveryCoordinator:
             )
             if seed is not None:
                 for bin_id in seed.bins_of(worker):
-                    store.create(bin_id)
+                    # A durable backend may have adopted the bin already
+                    # while replaying its log in the constructor.
+                    if not store.has(bin_id):
+                        store.create(bin_id)
             shared[key] = store
         return store
 

@@ -63,6 +63,12 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
         "--hot-capacity", type=float, default=None,
         help="tiered backend: hot-tier capacity in bytes before spilling",
     )
+    parser.add_argument(
+        "--delta-migration", action="store_true",
+        help="ship each bin's base state ahead of the move and only the "
+        "dirtied delta at execution (needs a delta-capable backend such "
+        "as wal; falls back to whole-bin shipment otherwise)",
+    )
 
 
 def _validate_common(parser: argparse.ArgumentParser, args) -> None:
@@ -148,6 +154,7 @@ def _config_from(args, **extra) -> ExperimentConfig:
         hot_capacity_bytes=(
             int(args.hot_capacity) if args.hot_capacity is not None else None
         ),
+        delta_migration=args.delta_migration,
         **extra,
     )
 
@@ -387,6 +394,28 @@ def cmd_chaos(args) -> int:
         ["strategy", "verdict", "recoveries", "abandoned", "drops", "restored"],
         rows,
     )
+    damaged = [
+        (r.strategy, report)
+        for r in results
+        for report in r.result.storage_faults
+    ]
+    if damaged:
+        print()
+        print_table(
+            "storage damage repaired during durable recovery",
+            ["strategy", "worker", "torn", "truncated [B]", "frames", "bins"],
+            [
+                (
+                    strategy,
+                    report.worker,
+                    "yes" if report.torn_frame else "no",
+                    report.truncated_bytes,
+                    report.frames_replayed,
+                    report.bins_recovered,
+                )
+                for strategy, report in damaged
+            ],
+        )
     stalled = [r.strategy for r in results if not r.live]
     if stalled:
         print(f"\nFAIL: frontier stalled under {', '.join(stalled)}")

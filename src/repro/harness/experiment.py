@@ -81,6 +81,15 @@ class ExperimentConfig:
     state_backend: str = "dict"
     codec: str = "modeled"
     hot_capacity_bytes: Optional[int] = None
+    # Durable WAL backend knobs (state_backend="wal").  ``wal_sync_every``
+    # is the fsync cadence in application batches: 1 syncs per committed
+    # batch, larger values widen the window a crash can lose.
+    wal_segment_bytes: int = 1 << 16
+    wal_compact_threshold: int = 512
+    wal_sync_every: int = 1
+    # Base-then-delta migration shipping (requires a delta-capable backend;
+    # others fall back to whole-bin silently).
+    delta_migration: bool = False
     # Attach a MigrationTrace to the run's bus and expose it on the result
     # (per-bin phase breakdowns).  Observability only: a run is bit-identical
     # with or without it.
@@ -123,8 +132,25 @@ class ExperimentConfig:
 
     def backend_options(self) -> dict:
         """Backend-specific constructor options (None values are dropped
-        by the registry, so flat backends see an empty dict)."""
-        return {"hot_capacity_bytes": self.hot_capacity_bytes}
+        by the registry, so flat backends see an empty dict).
+
+        For the ``wal`` backend this mints a fresh :class:`WalRegistry` —
+        the run's modeled disk.  It is owned by the returned dict (which
+        ``MegaphoneConfig`` holds for the run's lifetime), so the logs
+        survive process restarts inside one run but two runs of the same
+        config never share storage.  Call once per run.
+        """
+        options: dict = {"hot_capacity_bytes": self.hot_capacity_bytes}
+        if self.state_backend == "wal":
+            from repro.state.wal import WalRegistry
+
+            options.update(
+                wal_registry=WalRegistry(self.wal_segment_bytes),
+                segment_bytes=self.wal_segment_bytes,
+                compact_threshold=self.wal_compact_threshold,
+                sync_every=self.wal_sync_every,
+            )
+        return options
 
     def resolved_cost(self) -> CostModel:
         """The cost model, with the variant's per-record cost applied."""
@@ -156,6 +182,11 @@ class ExperimentResult:
     chaos_diagnoses: list = field(default_factory=list)
     abandoned_steps: int = 0
     fault_log: Optional[FaultLog] = None
+    # Durable recovery outcome (wal backend under chaos): per-worker state
+    # fingerprints taken right after log replay, and the structured damage
+    # reports the replay surfaced.
+    recovered_fingerprints: dict = field(default_factory=dict)
+    storage_faults: list = field(default_factory=list)
     # Planner outcome (None unless the config carried a PlannerConfig):
     # the decision log plus the end-of-run max/mean worker-load ratio.
     planner: Optional[PlannerReport] = None
@@ -278,12 +309,30 @@ class MigrationExperiment:
             if op is not None:
                 op.config.recovery_mode = True
                 ledger = ConfigurationLedger(op.config.initial)
+                # Durable storage: crashes damage the worker logs (per the
+                # plan's storage-fault knobs), and restarts recover from
+                # those logs instead of in-memory snapshots.
+                wal_registry = op.config.backend_options.get("wal_registry")
+                if wal_registry is not None:
+                    plan_seed = chaos.plan.seed
+
+                    def _crash_storage(crash, workers, _reg=wal_registry):
+                        _reg.apply_crash_faults(
+                            workers,
+                            lose_unsynced_tail=crash.lose_unsynced_tail,
+                            torn_write=crash.torn_write,
+                            bit_flips=crash.bit_flips,
+                            seed=plan_seed,
+                        )
+
+                    injector.on_crash_storage(_crash_storage)
                 coordinator = RecoveryCoordinator(
                     runtime,
                     op,
                     ledger,
                     injector=injector,
                     snapshot_provider=lambda: snapshot_box.get("snapshot"),
+                    durable=wal_registry is not None,
                 )
                 if chaos.snapshot_at_s is not None:
                     # Capture a consistent cut at the epoch corresponding to
@@ -473,6 +522,11 @@ class MigrationExperiment:
         if chaos is not None:
             result.abandoned_steps = sum(len(c.abandoned) for c in resilient)
             result.fault_log = fault_log
+            if coordinator is not None:
+                result.recovered_fingerprints = dict(
+                    coordinator.recovered_fingerprints
+                )
+                result.storage_faults = list(coordinator.storage_faults)
         if planner is not None:
             result.planner = planner.report
             result.final_imbalance = planner_box.get(
@@ -548,6 +602,7 @@ def _build_megaphone_count(df, control, data, cfg: ExperimentConfig):
         codec=cfg.codec,
         backend_options=cfg.backend_options(),
         columnar_applier=columnar_count_fold,
+        delta_migration=cfg.delta_migration,
     )
 
     def state_bytes_fn(worker: int) -> tuple:

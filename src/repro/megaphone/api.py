@@ -57,6 +57,7 @@ def state_machine(
     codec: str = "modeled",
     backend_options: Optional[dict] = None,
     columnar_applier: Optional[Callable] = None,
+    delta_migration: bool = False,
 ) -> MigrateableOperator:
     """Migrateable per-record state machine over ``(key, val)`` pairs.
 
@@ -93,6 +94,7 @@ def state_machine(
         codec=codec,
         backend_options=backend_options,
         columnar_applier=columnar_applier,
+        delta_migration=delta_migration,
     )
 
 
@@ -110,6 +112,7 @@ def unary(
     state_backend: str = "dict",
     codec: str = "modeled",
     backend_options: Optional[dict] = None,
+    delta_migration: bool = False,
 ) -> MigrateableOperator:
     """Migrateable single-input stateful operator.
 
@@ -135,6 +138,7 @@ def unary(
         state_backend=state_backend,
         codec=codec,
         backend_options=backend_options,
+        delta_migration=delta_migration,
     )
 
 
@@ -154,6 +158,7 @@ def binary(
     state_backend: str = "dict",
     codec: str = "modeled",
     backend_options: Optional[dict] = None,
+    delta_migration: bool = False,
 ) -> MigrateableOperator:
     """Migrateable two-input stateful operator.
 
@@ -181,4 +186,5 @@ def binary(
         state_backend=state_backend,
         codec=codec,
         backend_options=backend_options,
+        delta_migration=delta_migration,
     )

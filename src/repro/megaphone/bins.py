@@ -82,6 +82,16 @@ class BinStore:
             backend, state_factory, size_fn, codec=codec, options=backend_options
         )
         self._bins: dict[int, Bin] = {}
+        # Fence of the last installed payload per bin: a duplicated install
+        # (a migration step retried after its first delivery succeeded) is
+        # recognized here and dropped instead of double-applied.
+        self._install_fences: dict[int, object] = {}
+        # Durable backends recover at bind time: replaying the worker's log
+        # may leave bins already resident, which the store must adopt so
+        # ``has``/``get`` see them.
+        self.backend.bind_worker(worker_id)
+        for bin_id in self.backend.bin_ids():
+            self._bins[bin_id] = Bin(bin_id, self.backend)
 
     @property
     def codec(self):
@@ -114,17 +124,33 @@ class BinStore:
 
     # -- the single serialization path ------------------------------------------
 
-    def extract(self, bin_id: int, *, remove: bool = True) -> BinPayload:
+    def extract(
+        self,
+        bin_id: int,
+        *,
+        remove: bool = True,
+        dirty_since: Optional[int] = None,
+    ) -> BinPayload:
         """Serialize ``bin_id`` (state through the codec, pending attached).
 
         ``remove=True`` uninstalls the bin (migration/extraction);
         ``remove=False`` captures a consistent copy (snapshots) without
-        disturbing the resident bin or its pending queue.
+        disturbing the resident bin or its pending queue.  ``dirty_since``
+        asks a delta-capable backend for only the keys dirtied after that
+        epoch (ignored — full extraction — on backends without epochs).
         """
         bin_ = self.get(bin_id)
-        payload = self.backend.extract_bin(bin_id, remove=remove)
+        if dirty_since is not None and self.backend.supports_delta:
+            payload = self.backend.extract_bin(
+                bin_id, remove=remove, dirty_since=dirty_since
+            )
+        else:
+            payload = self.backend.extract_bin(bin_id, remove=remove)
         if remove:
             del self._bins[bin_id]
+            # The bin is leaving: a later re-install at this worker is a new
+            # logical move, so the old fence must not suppress it.
+            self._install_fences.pop(bin_id, None)
             payload.pending = bin_.pending.drain()
         else:
             entries = bin_.pending.drain()
@@ -135,6 +161,11 @@ class BinStore:
         )
         return payload
 
+    def delta_capable(self, bin_id: int) -> bool:
+        """Whether ``bin_id`` can ship base-then-delta (backend tracks dirty
+        epochs and the bin's state is a tracked mapping)."""
+        return self.backend.supports_delta and self.backend.bin_delta_capable(bin_id)
+
     def take(self, bin_id: int) -> BinPayload:
         """Remove and return ``bin_id``'s payload for migration
         (BinNotResident if absent)."""
@@ -142,14 +173,38 @@ class BinStore:
 
     def install(self, payload: BinPayload, *, replace: bool = False) -> Bin:
         """Install a payload produced by :meth:`extract` (migration arrival,
-        snapshot restore, crash recovery — one path for all three)."""
+        snapshot restore, crash recovery — one path for all three).
+
+        Fenced: a payload whose ``fence`` matches the last one installed
+        for its bin is a duplicate delivery (retried step) and returns the
+        resident bin untouched — neither state nor pending records are
+        applied twice.
+        """
+        fence = payload.fence
+        if (
+            fence is not None
+            and payload.bin_id in self._bins
+            and self._install_fences.get(payload.bin_id) == fence
+        ):
+            return self._bins[payload.bin_id]
         self.backend.install_bin(payload, replace=replace)
         bin_ = self._bins.get(payload.bin_id)
         if bin_ is None:
             bin_ = Bin(payload.bin_id, self.backend)
             self._bins[payload.bin_id] = bin_
+        if fence is not None:
+            self._install_fences[payload.bin_id] = fence
         bin_.pending.extend(payload.pending)
         return bin_
+
+    def drop(self, bin_id: int) -> None:
+        """Discard a resident bin outright (no payload) — durable-recovery
+        reconciliation when the configuration moved a bin away while its
+        worker was dead.  No-op if absent."""
+        if bin_id in self._bins:
+            del self._bins[bin_id]
+            self.backend.drop_bin(bin_id)
+            self._install_fences.pop(bin_id, None)
 
     def restore_state(self, bin_id: int, payload: BinPayload) -> Bin:
         """Overwrite ``bin_id``'s state from a snapshot payload, leaving the

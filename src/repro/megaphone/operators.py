@@ -139,6 +139,10 @@ class _FLogic:
         self._pending_migrations: list[tuple[Timestamp, list[tuple[int, int, int]]]] = []
         # Data batches whose time is in advance of the control frontier.
         self._buffered = PendingQueue()
+        # Delta migration: epoch each shipped base snapshot was captured at,
+        # keyed by (reconfiguration time, bin).  Present iff a base is in
+        # flight for the move; execution then ships only newer keys.
+        self._base_epochs: dict[tuple, int] = {}
 
     # -- helpers -------------------------------------------------------------
 
@@ -381,9 +385,60 @@ class _FLogic:
                             )
                         )
                 self._pending_migrations.append((time, my_moves))
+                if self._config.delta_migration:
+                    self._ship_bases(ctx, time, my_moves)
             else:
                 # Nothing to ship from this worker: stop holding S back.
                 ctx.release_capability(time)
+
+    def _ship_bases(self, ctx, time: Timestamp, moves: list) -> None:
+        """Pre-copy: ship a base snapshot of each moving bin immediately.
+
+        The bin keeps processing here until :meth:`_execute_moves`; the
+        snapshot overlaps the bulk transfer with that processing, and the
+        epoch recorded per move lets execution ship only the keys dirtied
+        since.  Pending records are *not* shipped with the base — the delta
+        carries the authoritative drain, so they never travel twice.
+        """
+        store = self._store(ctx)
+        cost = ctx.cost
+        codec = self._config.codec_obj
+        trace = ctx.trace
+        wants_migration = trace.wants_migration
+        for bin_id, _src, dst in moves:
+            if not store.has(bin_id) or not store.delta_capable(bin_id):
+                continue
+            payload = store.extract(bin_id, remove=False)
+            payload.kind = "base"
+            payload.pending = []
+            payload.size_bytes = payload.state_bytes
+            size = payload.size_bytes
+            self._base_epochs[(time, bin_id)] = payload.base_epoch
+            serialize_s = codec.encode_cost(cost, size)
+            ctx.charge(serialize_s)
+            ctx.memory.add_retained(size)
+            self._config.probe.note_bytes(time, size)
+            if wants_migration:
+                trace.publish(
+                    BinStateExtracted(
+                        name=self._config.name,
+                        time=time,
+                        bin=bin_id,
+                        src=self._worker_id,
+                        dst=dst,
+                        size_bytes=size,
+                        serialize_s=serialize_s,
+                        at=ctx.now,
+                        kind="base",
+                    )
+                )
+            ctx.send(
+                1,
+                time,
+                [(dst, payload, size)],
+                size_bytes=size,
+                retained_bytes=size,
+            )
 
     def _drain_buffered(self, ctx, control_frontier: Antichain) -> None:
         ready = self._buffered.pop_ready(
@@ -413,13 +468,22 @@ class _FLogic:
         wants_migration = trace.wants_migration
         codec = self._config.codec_obj
         for bin_id, _src, dst in moves:
+            base_epoch = self._base_epochs.pop((time, bin_id), None)
             if self._config.recovery_mode and not store.has(bin_id):
                 # The bin is not here to extract — it died with a crashed
                 # process, or a retried control step repeats a move this
                 # worker already shipped.  The destination's S will
                 # recreate it empty on first use.
                 continue
-            payload = store.extract(bin_id)
+            if base_epoch is not None:
+                payload = store.extract(bin_id, dirty_since=base_epoch)
+            else:
+                payload = store.extract(bin_id)
+            # Fence the install: the (bin, destination) pair identifies this
+            # logical move, so a duplicated delivery — a step retried after
+            # its first ship already landed — is dropped at the destination
+            # instead of double-applied.
+            payload.fence = (bin_id, dst)
             size = payload.size_bytes
             serialize_s = codec.encode_cost(cost, size)
             ctx.charge(serialize_s)
@@ -440,6 +504,7 @@ class _FLogic:
                         size_bytes=size,
                         serialize_s=serialize_s,
                         at=ctx.now,
+                        kind=payload.kind,
                     )
                 )
             ctx.send(
@@ -468,6 +533,9 @@ class _SLogic:
         self._col_segments: dict[Timestamp, list] = {}
         # Bins with scheduled (post-dated) work at a time: time -> set of ids.
         self._scheduled_bins: dict[Timestamp, set[int]] = {}
+        # Delta migration: base snapshots received ahead of their move,
+        # waiting for the delta that completes them.
+        self._staged_bases: dict[int, object] = {}
 
     def _store(self, ctx) -> BinStore:
         return self._config.store_for(ctx)
@@ -515,7 +583,34 @@ class _SLogic:
         trace = ctx.trace
         codec = self._config.codec_obj
         for dst, payload, size in records:
-            bin_ = store.install(payload)
+            kind = payload.kind
+            if kind == "base":
+                # Pre-copy: hold the snapshot aside.  The bin is still live
+                # at its source; it becomes resident here only when the
+                # delta (or a full payload) completes the move.
+                self._staged_bases[payload.bin_id] = payload
+                if trace.wants_migration:
+                    trace.publish(
+                        BinStateInstalled(
+                            name=self._config.name,
+                            time=time,
+                            bin=payload.bin_id,
+                            worker=ctx.worker_id,
+                            size_bytes=size,
+                            deserialize_s=codec.decode_cost(ctx.cost, size),
+                            at=ctx.now,
+                            kind="base",
+                        )
+                    )
+                continue
+            if kind == "delta":
+                install_payload = self._merge_delta(ctx, store, payload)
+            else:
+                # A full payload supersedes any staged base (the source fell
+                # back to whole-bin shipping, e.g. an opaque state).
+                self._staged_bases.pop(payload.bin_id, None)
+                install_payload = payload
+            bin_ = store.install(install_payload)
             if trace.wants_migration:
                 trace.publish(
                     BinStateInstalled(
@@ -526,10 +621,48 @@ class _SLogic:
                         size_bytes=size,
                         deserialize_s=codec.decode_cost(ctx.cost, size),
                         at=ctx.now,
+                        kind=kind,
                     )
                 )
             for pending_time in bin_.pending.times():
                 self._schedule_bin(ctx, pending_time, bin_.bin_id)
+
+    def _merge_delta(self, ctx, store: BinStore, delta) -> object:
+        """Fold a delta payload over its staged base into one full payload.
+
+        The merged payload carries the delta's pending records (the
+        authoritative drain from the source) and its fence.  A delta with
+        no staged base means the base died in flight — tolerable only under
+        recovery mode, where the dirty keys alone are installed (bounded,
+        observable loss, same contract as ``_bin_for``).
+        """
+        base = self._staged_bases.pop(delta.bin_id, None)
+        if base is None:
+            if not self._config.recovery_mode:
+                raise RuntimeError(
+                    f"delta for bin {delta.bin_id} arrived with no staged base"
+                )
+            state = delta.decode_state(copy=True)
+        else:
+            state = base.decode_state()
+            live = delta.decode_state()
+            state.update(live)
+            for key in delta.deleted:
+                state.pop(key, None)
+        codec = self._config.codec_obj
+        encoded = codec.encode(state)
+        state_bytes = store.backend.modeled_bytes(state)
+        merged = type(delta)(
+            bin_id=delta.bin_id,
+            codec=delta.codec,
+            payload=encoded,
+            pending=delta.pending,
+            state_bytes=state_bytes,
+            size_bytes=state_bytes,
+            keys=len(state) if hasattr(state, "__len__") else 0,
+            fence=delta.fence,
+        )
+        return merged
 
     def _schedule_bin(self, ctx, time: Timestamp, bin_id: int) -> None:
         bins = self._scheduled_bins.get(time)
@@ -678,6 +811,7 @@ class MegaphoneConfig:
         codec: str = DEFAULT_CODEC,
         backend_options: Optional[dict] = None,
         columnar_applier: Optional[Callable] = None,
+        delta_migration: bool = False,
     ) -> None:
         self.name = name
         self.num_bins = num_bins
@@ -697,6 +831,10 @@ class MegaphoneConfig:
         self.codec = codec
         self.backend_options = dict(backend_options) if backend_options else {}
         self.codec_obj = resolve_codec(codec)
+        # Base-then-delta shipping: F pre-copies moving bins at plan time
+        # and ships only the keys dirtied since at execution.  Requires a
+        # delta-capable backend; others silently fall back to whole-bin.
+        self.delta_migration = delta_migration
         self.probe = MigrationProbe()
         self.s_op: int = -1  # wired by the builder
         # When True (set by fault-injection harnesses) the pair tolerates
@@ -751,7 +889,10 @@ class MegaphoneConfig:
                 worker_id=ctx.worker_id,
             )
             for bin_id in self.initial.bins_of(ctx.worker_id):
-                store.create(bin_id)
+                # A durable backend may have adopted this bin already while
+                # replaying the worker's log at bind time.
+                if not store.has(bin_id):
+                    store.create(bin_id)
             ctx.shared[key] = store
         return store
 
@@ -802,6 +943,7 @@ def build_migrateable(
     codec: str = DEFAULT_CODEC,
     backend_options: Optional[dict] = None,
     columnar_applier: Optional[Callable] = None,
+    delta_migration: bool = False,
 ) -> MigrateableOperator:
     """Assemble the F/S pair for a migrateable operator.
 
@@ -832,6 +974,7 @@ def build_migrateable(
         codec=codec,
         backend_options=backend_options,
         columnar_applier=columnar_applier,
+        delta_migration=delta_migration,
     )
 
     f_inputs = [(control, Broadcast())]

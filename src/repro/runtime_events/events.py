@@ -240,6 +240,8 @@ class BinStateExtracted:
     """F took a bin out of the co-located store and queued it for shipping.
 
     ``serialize_s`` is the CPU charged to serialize ``size_bytes`` of state.
+    ``kind`` is the payload's wire form: "full" (whole state), "base"
+    (pre-copy snapshot shipped at plan time), or "delta" (dirty keys only).
     """
 
     topic: ClassVar[str] = TOPIC_MIGRATION
@@ -251,6 +253,7 @@ class BinStateExtracted:
     size_bytes: float
     serialize_s: float
     at: float
+    kind: str = "full"
 
 
 @dataclass(frozen=True, slots=True)
@@ -265,6 +268,7 @@ class BinStateInstalled:
     size_bytes: float
     deserialize_s: float
     at: float
+    kind: str = "full"
 
 
 # -- memory ---------------------------------------------------------------------
@@ -371,6 +375,28 @@ class MessageDropped:
     dst_worker: int
     size_bytes: float
     reason: str
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class StorageFaultReport:
+    """Durable-log recovery found (and repaired) crash damage on a worker.
+
+    Published by the recovery coordinator when a restarted worker's
+    write-ahead log replay detects a torn final frame, checksum-invalid
+    frames (bit flips), or a lost unsynced tail.  ``truncated_bytes`` were
+    discarded to return the log to its last valid frame; ``frames_replayed``
+    and ``bins_recovered`` describe what survived.
+    """
+
+    topic: ClassVar[str] = TOPIC_FAULTS
+    worker: int
+    torn_frame: bool
+    corrupt_frame: bool
+    lost_tail_bytes: int
+    truncated_bytes: int
+    frames_replayed: int
+    bins_recovered: int
     at: float
 
 

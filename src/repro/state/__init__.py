@@ -9,9 +9,11 @@ shipping, snapshots, and crash recovery all serialize through the single
 ``extract_bin`` + codec path.
 
 Built-ins: ``dict`` (the seed's behavior, byte-identical), ``sorted-log``
-(append + compaction), and ``tiered`` (hot RAM tier, cold modeled-disk
-tier with LRU spill and promote-on-access).  Codecs: ``modeled``,
-``pickle``, ``struct``.  See DESIGN.md §10.
+(append + compaction), ``tiered`` (hot RAM tier, cold modeled-disk tier
+with LRU spill and promote-on-access), and ``wal`` (segmented CRC32-framed
+write-ahead log with crash-consistent recovery and per-key dirty epochs
+for delta migration — DESIGN.md §13).  Codecs: ``modeled``, ``pickle``,
+``struct``.  See DESIGN.md §10.
 """
 
 from repro.state.backend import (
@@ -36,6 +38,13 @@ from repro.state.registry import (
 )
 from repro.state.sortedlog import LogState, SortedLogBackend
 from repro.state.tiered import TieredSpillBackend
+from repro.state.wal import (
+    WalBackend,
+    WalRecovery,
+    WalRegistry,
+    WalState,
+    WorkerWal,
+)
 
 __all__ = [
     "BinNotResident",
@@ -52,6 +61,11 @@ __all__ = [
     "StateBackend",
     "StructCodec",
     "TieredSpillBackend",
+    "WalBackend",
+    "WalRecovery",
+    "WalRegistry",
+    "WalState",
+    "WorkerWal",
     "backend_names",
     "codec_names",
     "default_state_size",

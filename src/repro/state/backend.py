@@ -100,6 +100,16 @@ class BinPayload:
     state_bytes: int = 0
     size_bytes: int = 0
     keys: int = 0
+    # Delta-migration wire metadata.  ``kind`` is "full" (a complete
+    # state), "base" (a pre-copy snapshot shipped ahead of the move), or
+    # "delta" (only keys dirtied strictly after ``base_epoch``, plus the
+    # keys ``deleted`` since then).  ``fence`` names the migration step
+    # that produced the payload so a duplicated install (retried step) is
+    # recognized and dropped instead of double-applied.
+    kind: str = "full"
+    base_epoch: int = -1
+    deleted: tuple = ()
+    fence: object = None
 
     def decode_state(self, *, copy: bool = False) -> object:
         """Decode the payload with its codec (registry-resolved).
@@ -137,6 +147,10 @@ class StateBackend:
     """
 
     name: ClassVar[str] = ""
+    # Backends that track per-key dirty epochs can serve delta extraction
+    # (``extract_bin(..., dirty_since=E)``); ``BinStore`` checks this flag
+    # before passing the keyword, so flat backends keep their signature.
+    supports_delta: ClassVar[bool] = False
 
     def __init__(
         self,
@@ -151,6 +165,18 @@ class StateBackend:
         self._records: dict[object, int] = {}
         self._last_access: dict[object, int] = {}
         self._access_seq = 0
+
+    def bind_worker(self, worker_id: int) -> None:
+        """Attach the backend to its owning worker (default no-op).
+
+        Durable backends locate their per-worker log here and replay it if
+        non-empty — recovery after a crash/restart happens at bind time.
+        """
+
+    def bin_delta_capable(self, bin_id: object) -> bool:
+        """Whether this specific bin can serve a delta extraction (a
+        delta-capable backend may still hold opaque, untracked states)."""
+        return False
 
     # -- bookkeeping shared by all backends ------------------------------------
 

@@ -15,6 +15,7 @@ from repro.state.backend import DictBackend, StateBackend
 from repro.state.codecs import Codec, ModeledCodec, PickleCodec, StructCodec
 from repro.state.sortedlog import SortedLogBackend
 from repro.state.tiered import TieredSpillBackend
+from repro.state.wal import WalBackend
 
 DEFAULT_BACKEND = "dict"
 DEFAULT_CODEC = "modeled"
@@ -103,6 +104,7 @@ def make_backend(
 register_backend(DictBackend)
 register_backend(SortedLogBackend)
 register_backend(TieredSpillBackend)
+register_backend(WalBackend)
 register_codec(ModeledCodec())
 register_codec(PickleCodec())
 register_codec(StructCodec())

@@ -17,6 +17,7 @@ class WordCountRun:
     applications: list = field(default_factory=list)  # (time, worker, key, val)
     result: object = None
     runtime: object = None
+    controller: object = None
     op: object = None
     plan: object = None
     initial: BinnedConfiguration = None
@@ -42,6 +43,10 @@ def drive_wordcount(
     n_keys=20,
     target_fn=imbalanced_target,
     instrument=None,
+    state_backend="dict",
+    backend_options=None,
+    delta_migration=False,
+    controller_cls=MigrationController,
 ):
     """Run word count under an optional migration strategy.
 
@@ -76,6 +81,9 @@ def drive_wordcount(
         num_bins=num_bins,
         name="wordcount",
         initial=initial,
+        state_backend=state_backend,
+        backend_options=backend_options,
+        delta_migration=delta_migration,
     )
     run.op = op
     op.output.sink(lambda w, t, recs: run.outputs.append((t, list(recs))))
@@ -114,7 +122,7 @@ def drive_wordcount(
     if strategy is not None:
         target = target_fn(initial)
         run.plan = make_plan(strategy, initial, target, batch_size=batch_size)
-        controller = MigrationController(
+        controller = controller_cls(
             runtime,
             control_group,
             ticker,
@@ -137,6 +145,7 @@ def drive_wordcount(
     runtime.run_to_quiescence()
     if controller is not None:
         run.result = controller.result
+        run.controller = controller
     return run
 
 

@@ -29,7 +29,7 @@ def _backend(name, **options):
     return make_backend(name, dict, _size_fn, codec="modeled", options=options)
 
 
-@pytest.mark.parametrize("name", ["dict", "sorted-log", "tiered"])
+@pytest.mark.parametrize("name", ["dict", "sorted-log", "tiered", "wal"])
 def test_backend_lifecycle(name):
     backend = _backend(name)
     backend.create_bin(3)
@@ -49,7 +49,7 @@ def test_backend_lifecycle(name):
     assert not backend.has_bin(3)
 
 
-@pytest.mark.parametrize("name", ["dict", "sorted-log", "tiered"])
+@pytest.mark.parametrize("name", ["dict", "sorted-log", "tiered", "wal"])
 def test_extract_install_round_trip(name):
     backend = _backend(name)
     backend.create_bin(0)
@@ -181,9 +181,9 @@ def test_sorted_log_extract_materializes_flat_state():
 
 
 def test_registry_lists_builtins_and_rejects_unknown_names():
-    assert {"dict", "sorted-log", "tiered"} <= set(backend_names())
+    assert {"dict", "sorted-log", "tiered", "wal"} <= set(backend_names())
     assert {"modeled", "pickle", "struct"} <= set(codec_names())
-    with pytest.raises(ValueError, match="dict, sorted-log, tiered"):
+    with pytest.raises(ValueError, match="dict, sorted-log, tiered, wal"):
         resolve_backend("rocksdb")
     with pytest.raises(ValueError, match="modeled"):
         resolve_codec("arrow")

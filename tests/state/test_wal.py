@@ -1,0 +1,404 @@
+"""WAL backend unit tests: framing, crash faults, recovery, delta, compaction.
+
+The crash-consistency headline lives here too: after a crash with a torn
+final write and a lost unsynced tail, a replayed backend holds exactly the
+state a fault-free backend holds at the same fsync horizon.
+"""
+
+import pickle
+import zlib
+
+import pytest
+
+from repro.state import make_backend
+from repro.state.wal import (
+    _HEADER,
+    _MAGIC,
+    K_CKPT,
+    K_CREATE,
+    K_PUT,
+    WalBackend,
+    WalRegistry,
+    WalState,
+    WorkerWal,
+    encode_frame,
+    replay_frames,
+)
+
+
+def _size_fn(state):
+    return len(state) * 8
+
+
+def _wal_backend(registry=None, **options):
+    if registry is not None:
+        options["wal_registry"] = registry
+    return make_backend("wal", dict, _size_fn, codec="modeled", options=options)
+
+
+def _decode(frame: bytes):
+    magic, kind, length, crc = _HEADER.unpack_from(frame, 0)
+    body = frame[_HEADER.size : _HEADER.size + length]
+    assert magic == _MAGIC
+    assert zlib.crc32(body) == crc
+    return kind, pickle.loads(body)
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def test_frame_round_trip():
+    frame = encode_frame(K_PUT, (3, 7, "key", 42))
+    kind, record = _decode(frame)
+    assert kind == K_PUT
+    assert record == (3, 7, "key", 42)
+
+
+def test_unknown_frame_kind_rejected():
+    with pytest.raises(ValueError):
+        encode_frame(99, (0, 0))
+
+
+def test_append_rolls_segments_without_straddling():
+    wal = WorkerWal(0, segment_bytes=128)
+    for i in range(64):
+        wal.append(K_PUT, (0, i, i, i))
+    assert len(wal.segments) > 1
+    # No frame straddles a boundary: each non-final segment parses cleanly
+    # on its own.
+    for seg in wal.segments:
+        pos = 0
+        data = bytes(seg)
+        while pos < len(data):
+            _, _, length, _ = _HEADER.unpack_from(data, pos)
+            pos += _HEADER.size + length
+        assert pos == len(data)
+
+
+def test_sync_advances_horizon():
+    wal = WorkerWal(0)
+    wal.append(K_PUT, (0, 1, "a", 1))
+    assert wal.unsynced_bytes() > 0
+    wal.sync()
+    assert wal.unsynced_bytes() == 0
+    assert wal.synced == wal.total_bytes()
+
+
+# -- scan and crash faults ----------------------------------------------------
+
+
+def test_scan_clean_log():
+    wal = WorkerWal(0)
+    wal.append(K_CREATE, (5, 0))
+    wal.append(K_PUT, (5, 0, "a", 1))
+    frames, recovery = wal.scan()
+    assert [k for k, _ in frames] == [K_CREATE, K_PUT]
+    assert recovery.clean
+    assert recovery.frames_replayed == 2
+    assert recovery.truncated_bytes == 0
+
+
+def test_torn_write_detected_and_truncated():
+    wal = WorkerWal(0)
+    wal.append(K_CREATE, (1, 0))
+    wal.append(K_PUT, (1, 0, "a", 1))
+    wal.sync()
+    damage = wal.apply_crash(torn_write=True)
+    assert damage["torn_bytes"] > 0
+    frames, recovery = wal.scan()
+    assert recovery.torn_frame
+    assert not recovery.clean
+    assert recovery.truncated_bytes > 0
+    assert len(frames) == 2  # the intact prefix survives in full
+    # The log itself was repaired: a second scan is clean.
+    _, second = wal.scan()
+    assert second.clean
+
+
+def test_lost_unsynced_tail_respects_fsync_horizon():
+    wal = WorkerWal(0)
+    wal.append(K_PUT, (0, 0, "synced", 1))
+    wal.sync()
+    wal.append(K_PUT, (0, 1, "unsynced", 2))
+    lost = wal.unsynced_bytes()
+    damage = wal.apply_crash(lose_unsynced_tail=True)
+    assert damage["lost_tail_bytes"] == lost
+    frames, recovery = wal.scan()
+    assert [record[2] for _, record in frames] == ["synced"]
+    # Losing exactly the unsynced tail leaves whole frames: a clean cut.
+    assert recovery.clean
+
+
+def test_bit_flip_detected_by_checksum():
+    wal = WorkerWal(0)
+    for i in range(20):
+        wal.append(K_PUT, (0, i, i, i))
+    wal.sync()
+    import random
+
+    wal.apply_crash(bit_flips=1, rng=random.Random(7))
+    frames, recovery = wal.scan()
+    assert not recovery.clean
+    assert recovery.corrupt_frame or recovery.torn_frame
+    assert len(frames) < 20
+    # Surviving prefix is intact.
+    for _, record in frames:
+        assert record[2] == record[3]
+
+
+# -- backend lifecycle and recovery -------------------------------------------
+
+
+def test_backend_recovers_states_from_log_alone():
+    registry = WalRegistry()
+    backend = _wal_backend(registry)
+    backend.bind_worker(0)
+    backend.create_bin(1)
+    backend.create_bin(2)
+    backend.put(1, "a", 10)
+    backend.put(1, "b", 20)
+    backend.put(2, "x", 1)
+    backend.delete(1, "b")
+    backend.note_applied(1)
+    backend.note_applied(2)
+
+    reborn = _wal_backend(registry)
+    reborn.bind_worker(0)
+    assert sorted(reborn.bin_ids()) == [1, 2]
+    assert dict(reborn.items(1)) == {"a": 10}
+    assert dict(reborn.items(2)) == {"x": 1}
+    assert reborn.last_recovery is not None
+    assert reborn.last_recovery.clean
+    assert reborn.last_recovery.bins_recovered == 2
+    # The reborn backend's epoch is strictly ahead of everything replayed.
+    assert reborn.current_epoch() > reborn.last_recovery.max_epoch
+
+
+def test_recovery_preserves_dirty_epochs_for_delta():
+    registry = WalRegistry()
+    backend = _wal_backend(registry)
+    backend.bind_worker(3)
+    backend.create_bin(0)
+    backend.put(0, "a", 1)
+    backend.note_applied(0)
+    backend.put(0, "b", 2)
+    backend.note_applied(0)
+
+    reborn = _wal_backend(registry)
+    reborn.bind_worker(3)
+    state = reborn._states[0]
+    assert isinstance(state, WalState)
+    assert state.dirty["b"] > state.dirty["a"]
+
+
+def test_dropped_bin_stays_dropped_after_replay():
+    registry = WalRegistry()
+    backend = _wal_backend(registry)
+    backend.bind_worker(0)
+    backend.create_bin(4)
+    backend.put(4, "a", 1)
+    backend.drop_bin(4)
+    reborn = _wal_backend(registry)
+    reborn.bind_worker(0)
+    assert reborn.bin_ids() == []
+
+
+def test_recovery_after_torn_write_and_lost_tail():
+    registry = WalRegistry()
+    backend = _wal_backend(registry)
+    backend.bind_worker(0)
+    backend.create_bin(0)
+    backend.put(0, "durable", 1)
+    backend.note_applied(0)  # sync_every=1: synced here
+    # These writes never reach the fsync horizon.
+    state = backend._states[0]
+    state["volatile"] = 2
+    registry.apply_crash_faults([0], lose_unsynced_tail=True, torn_write=True, seed=5)
+
+    reborn = _wal_backend(registry)
+    reborn.bind_worker(0)
+    assert dict(reborn.items(0)) == {"durable": 1}
+    recovery = reborn.last_recovery
+    assert recovery.torn_frame
+    assert recovery.lost_tail_bytes > 0
+    assert recovery.truncated_bytes > 0
+
+
+def test_crash_consistency_matches_fault_free_run_at_horizon():
+    """The §13 contract: recovery == fault-free state at the fsync horizon."""
+    faulted_reg, clean_reg = WalRegistry(), WalRegistry()
+    faulted = _wal_backend(faulted_reg)
+    clean = _wal_backend(clean_reg)
+    for backend in (faulted, clean):
+        backend.bind_worker(0)
+        backend.create_bin(0)
+        for i in range(50):
+            backend.put(0, f"k{i}", i)
+        backend.note_applied(0)  # fsync horizon: both logs agree here
+    # Only the faulted worker keeps writing; the crash destroys all of it.
+    for i in range(25):
+        faulted.put(0, f"k{i}", -i)
+    # No bit flips here: those may land in the durable region, where data
+    # loss is detected (not silent) but the horizon guarantee ends.
+    faulted_reg.apply_crash_faults(
+        [0], lose_unsynced_tail=True, torn_write=True, seed=11
+    )
+    reborn = _wal_backend(faulted_reg)
+    reborn.bind_worker(0)
+    assert dict(reborn.items(0)) == dict(clean.items(0))
+
+
+# -- opaque (non-mapping) state ------------------------------------------------
+
+
+class _Counter:
+    def __init__(self, value=0):
+        self.value = value
+
+
+def test_opaque_state_checkpointed_per_batch():
+    registry = WalRegistry()
+    backend = make_backend(
+        "wal", _Counter, lambda s: 8.0, codec="modeled",
+        options={"wal_registry": registry},
+    )
+    backend.bind_worker(0)
+    backend.create_bin(0)
+    backend._states[0].value = 17
+    backend.note_applied(0)
+    reborn = make_backend(
+        "wal", _Counter, lambda s: 8.0, codec="modeled",
+        options={"wal_registry": registry},
+    )
+    reborn.bind_worker(0)
+    assert reborn._states[0].value == 17
+    assert not reborn.bin_delta_capable(0)
+
+
+# -- delta extraction ----------------------------------------------------------
+
+
+def test_delta_extraction_ships_only_dirty_keys():
+    backend = _wal_backend()
+    backend.bind_worker(0)
+    backend.create_bin(0)
+    for i in range(10):
+        backend.put(0, i, i)
+    backend.note_applied(0)
+    base = backend.extract_bin(0, remove=False)
+    assert base.kind == "full"
+    # Mutate a subset after the base snapshot.
+    backend.put(0, 3, 33)
+    backend.put(0, 10, 100)
+    backend.delete(0, 7)
+    delta = backend.extract_bin(0, dirty_since=base.base_epoch)
+    assert delta.kind == "delta"
+    assert delta.base_epoch == base.base_epoch
+    assert delta.decode_state() == {3: 33, 10: 100}
+    assert delta.deleted == (7,)
+    assert not backend.has_bin(0)  # delta extraction honored remove=True
+
+
+def test_delta_of_unchanged_bin_is_empty():
+    backend = _wal_backend()
+    backend.bind_worker(0)
+    backend.create_bin(0)
+    backend.put(0, "a", 1)
+    backend.note_applied(0)
+    base = backend.extract_bin(0, remove=False)
+    delta = backend.extract_bin(0, dirty_since=base.base_epoch, remove=False)
+    assert delta.decode_state() == {}
+    assert delta.deleted == ()
+
+
+def test_delta_bytes_scale_with_dirty_fraction():
+    """The acceptance line: 10% dirty ships < 25% of whole-bin bytes."""
+    backend = _wal_backend()
+    backend.bind_worker(0)
+    backend.create_bin(0)
+    for i in range(100):
+        backend.put(0, i, i)
+    backend.note_applied(0)
+    base = backend.extract_bin(0, remove=False)
+    for i in range(10):  # 10% of keys dirtied since the base snapshot
+        backend.put(0, i, -i)
+    delta = backend.extract_bin(0, dirty_since=base.base_epoch, remove=False)
+    assert delta.size_bytes < 0.25 * base.size_bytes
+
+
+# -- compaction ----------------------------------------------------------------
+
+
+def test_compaction_bounds_log_and_preserves_state():
+    registry = WalRegistry()
+    backend = _wal_backend(registry, compact_threshold=32)
+    backend.bind_worker(0)
+    backend.create_bin(0)
+    for i in range(500):
+        backend.put(0, i % 8, i)
+        if i % 4 == 0:
+            backend.note_applied(0)
+    assert backend.compactions > 0
+    # Post-compaction the log is one checkpoint frame per bin (plus any
+    # writes since), far smaller than 500 put frames.
+    frames, recovery = registry.wal_for(0).scan()
+    assert recovery.clean
+    assert len(frames) < 64
+    reborn = _wal_backend(registry)
+    reborn.bind_worker(0)
+    assert dict(reborn.items(0)) == dict(backend.items(0))
+
+
+def test_compacted_log_replays_checkpoint_frames():
+    registry = WalRegistry()
+    backend = _wal_backend(registry)
+    backend.bind_worker(0)
+    backend.create_bin(0)
+    backend.put(0, "a", 1)
+    backend.compact()
+    frames, _ = registry.wal_for(0).scan()
+    assert [k for k, _ in frames] == [K_CKPT]
+    bins, _ = replay_frames(frames, dict)
+    assert bins[0].state == {"a": 1}
+
+
+# -- registry and options ------------------------------------------------------
+
+
+def test_registry_isolates_workers():
+    registry = WalRegistry()
+    a = _wal_backend(registry)
+    a.bind_worker(0)
+    b = _wal_backend(registry)
+    b.bind_worker(1)
+    a.create_bin(0)
+    a.put(0, "a", 1)
+    assert registry.wal_for(1).total_bytes() == 0
+    assert registry.workers() == [0, 1]
+
+
+def test_crash_faults_are_deterministic_per_seed():
+    def damaged_log(seed):
+        registry = WalRegistry()
+        backend = _wal_backend(registry)
+        backend.bind_worker(0)
+        backend.create_bin(0)
+        for i in range(30):
+            backend.put(0, i, i)
+        backend.note_applied(0)
+        registry.apply_crash_faults(
+            [0], torn_write=True, bit_flips=3, seed=seed
+        )
+        return b"".join(bytes(s) for s in registry.wal_for(0).segments)
+
+    assert damaged_log(9) == damaged_log(9)
+    assert damaged_log(9) != damaged_log(10)
+
+
+def test_bad_options_rejected():
+    with pytest.raises(ValueError):
+        WalBackend(dict, _size_fn, None, compact_threshold=0)
+    with pytest.raises(ValueError):
+        WalBackend(dict, _size_fn, None, sync_every=0)
+    with pytest.raises(ValueError):
+        WorkerWal(0, segment_bytes=4)

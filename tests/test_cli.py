@@ -284,6 +284,7 @@ def test_count_runs_on_every_backend(capsys):
     for backend, extra in [
         ("sorted-log", []),
         ("tiered", ["--hot-capacity", "20000"]),
+        ("wal", []),
     ]:
         code = main([
             "count", "--domain", "10000", "--rate", "2000", "--duration", "2",
@@ -298,8 +299,38 @@ def test_count_runs_on_every_backend(capsys):
 def test_list_names_backends_and_codecs(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
-    assert "state backends: dict, sorted-log, tiered" in out
+    assert "state backends: dict, sorted-log, tiered, wal" in out
     assert "codecs: modeled, pickle, struct" in out
+
+
+def test_unknown_backend_error_names_wal(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["count", "--state-backend", "rocksdb"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "registered: dict, sorted-log, tiered, wal" in err
+
+
+def test_count_with_wal_and_delta_migration(capsys):
+    code = main([
+        "count", "--domain", "10000", "--rate", "2000", "--duration", "2",
+        "--workers", "2", "--workers-per-process", "2", "--bins", "16",
+        "--migrate-at", "1.0", "--state-backend", "wal", "--delta-migration",
+    ])
+    assert code == 0
+    assert "steady-state max latency" in capsys.readouterr().out
+
+
+def test_bench_report_names_wal_backend(tmp_path, capsys):
+    out_path = tmp_path / "bench.json"
+    code = main([
+        "bench", "--scale", "tiny", "--no-layers",
+        "--state-backend", "wal", "--output", str(out_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "state backend: wal" in out
+    assert out_path.exists()
 
 
 def test_list_names_planner_objectives(capsys):
