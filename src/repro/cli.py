@@ -52,6 +52,12 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--granularity-ms", type=int, default=10)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
+        "--network-latency", type=float, default=40e-6, metavar="SECONDS",
+        help="cross-process link latency; in --parallel runs it is also "
+        "the conservative lookahead, so ms-scale values (e.g. 0.01) keep "
+        "the synchronization round count practical",
+    )
+    parser.add_argument(
         "--state-backend", default="dict",
         help="state backend holding bin state (see `repro.cli list`)",
     )
@@ -68,6 +74,15 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
         help="ship each bin's base state ahead of the move and only the "
         "dirtied delta at execution (needs a delta-capable backend such "
         "as wal; falls back to whole-bin shipment otherwise)",
+    )
+
+
+def _parallel_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="shard the simulation over the workers-per-process partition: "
+        "N >= 1 forks N shard processes, 0 runs the sharded reference "
+        "engine in-process; all values produce byte-identical results",
     )
 
 
@@ -97,6 +112,10 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
         parser.error(
             f"--granularity-ms must be positive, got {args.granularity_ms}"
         )
+    if args.network_latency <= 0:
+        parser.error(
+            f"--network-latency must be positive, got {args.network_latency}"
+        )
     for at in args.migrate_at:
         if not 0 < at < args.duration:
             parser.error(
@@ -117,6 +136,15 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
         )
     if getattr(args, "min_gain", 0.0) < 0.0:
         parser.error(f"--min-gain must be non-negative, got {args.min_gain}")
+    parallel = getattr(args, "parallel", None)
+    if parallel is not None:
+        if parallel < 0:
+            parser.error(f"--parallel must be >= 0, got {parallel}")
+        if getattr(args, "native", False):
+            parser.error(
+                "--parallel does not support --native; the sharded engine "
+                "only runs the migrateable operator"
+            )
 
 
 def _validate_backend_args(parser: argparse.ArgumentParser, args) -> None:
@@ -151,6 +179,7 @@ def _config_from(args, **extra) -> ExperimentConfig:
         seed=args.seed,
         state_backend=args.state_backend,
         codec=args.codec,
+        network_latency_s=args.network_latency,
         hot_capacity_bytes=(
             int(args.hot_capacity) if args.hot_capacity is not None else None
         ),
@@ -190,10 +219,38 @@ def cmd_count(args) -> int:
         domain=int(args.domain),
         bytes_per_key=args.bytes_per_key,
         native=args.native,
+        parallel=args.parallel,
+        profile_shards=bool(args.profile and args.parallel),
     )
     result = run_count_experiment(cfg)
     _report(result, f"key-count, domain {int(args.domain):,}")
+    if result.parallel is not None:
+        info = result.parallel
+        print(
+            f"parallel: mode={info['mode']} children={info['children']} "
+            f"domains={info['domains']} rounds={info['rounds']} "
+            f"lookahead={info['lookahead_s'] * 1e3:.2f}ms "
+            f"shm batches={info['shm_encoded']} "
+            f"(pickle fallback {info['shm_fallback']})"
+        )
+        _print_merged_shard_profile(info["profile_paths"])
     return 0
+
+
+def _print_merged_shard_profile(paths: list) -> None:
+    """Aggregate per-shard cProfile dumps into one report (``--profile``)."""
+    import os
+
+    paths = [p for p in paths if p and os.path.exists(p)]
+    if not paths:
+        return
+    import pstats
+
+    stats = pstats.Stats(paths[0])
+    for path in paths[1:]:
+        stats.add(path)
+    print(f"\nmerged shard profile ({len(paths)} shard processes):")
+    stats.sort_stats("cumulative").print_stats(25)
 
 
 def cmd_nexmark(args) -> int:
@@ -432,11 +489,19 @@ def cmd_bench(args) -> int:
     """Measure hot-path throughput and write ``BENCH_hotpath.json``."""
     from repro.perf.hotpath import check_report, run_bench, write_report
 
+    overrides = {}
+    for spec in args.tolerance_override:
+        workload, sep, frac = spec.partition("=")
+        if not sep:
+            print(f"bad --tolerance-override {spec!r}; expected WORKLOAD=FRAC")
+            return 2
+        overrides[workload] = float(frac)
     report = run_bench(
         args.scale,
         layers=not args.no_layers,
         repeats=args.repeats,
         state_backend=args.state_backend,
+        parallel=args.parallel,
     )
     rows = []
     for workload, numbers in report["workloads"].items():
@@ -469,8 +534,21 @@ def cmd_bench(args) -> int:
         for workload, factor in report["speedup"].items():
             base = report["baseline"][workload]["records_per_s"]
             print(f"{workload}: {factor:.2f}x vs baseline ({base:,.0f} rec/s)")
+    if "parallel" in report:
+        par = report["parallel"]
+        print(
+            f"parallel: {par['shards']} shards, "
+            f"{par['speedup']:.2f}x vs serial-sharded "
+            f"(machine has {report['machine']['cpu_count']} cores), "
+            f"deterministic: {par['deterministic']}"
+        )
     if args.check is not None:
-        ok, deltas = check_report(report, args.check, tolerance=args.tolerance)
+        ok, deltas = check_report(
+            report,
+            args.check,
+            tolerance=args.tolerance,
+            tolerance_overrides=overrides,
+        )
         print_table(
             f"regression check vs {args.check} (tolerance {args.tolerance:.0%})",
             ["workload", "committed rec/s", "current rec/s", "delta", "status"],
@@ -485,6 +563,11 @@ def cmd_bench(args) -> int:
                 for row in deltas
             ],
         )
+        if any(row["status"] == "cross-machine-warn" for row in deltas):
+            print(
+                "note: baseline was measured on a different machine; "
+                "regressions reported as warnings only"
+            )
         if not ok:
             print("FAIL: throughput regressed beyond tolerance")
             return 1
@@ -528,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     count = sub.add_parser("count", help="run the counting microbenchmark")
     _common_args(count)
+    _parallel_arg(count)
     count.add_argument("--domain", type=float, default=1e6)
     count.add_argument("--bytes-per-key", type=float, default=8.0)
     count.add_argument("--native", action="store_true")
@@ -626,6 +710,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--tolerance", type=float, default=0.15,
         help="allowed relative records/s drop in --check mode (default 0.15)",
+    )
+    bench.add_argument(
+        "--tolerance-override", action="append", default=[],
+        metavar="WORKLOAD=FRAC",
+        help="per-workload tolerance in --check mode, e.g. "
+        "count_skewed=0.25; repeatable",
+    )
+    bench.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="also time the sharded engine: serial-sharded vs N forked "
+        "shards, recording speedup and determinism in the report",
     )
     bench.set_defaults(fn=cmd_bench)
 

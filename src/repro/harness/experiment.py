@@ -113,6 +113,16 @@ class ExperimentConfig:
     # models, and the decision loop unwired — the run is byte-identical to
     # a build without the planner subsystem.
     planner: Optional[PlannerConfig] = None
+    # Sharded execution (see repro.parallel).  None runs the legacy serial
+    # engine; 0 runs the sharded reference engine in-process; N >= 1 forks
+    # N shard processes.  All sharded runs are byte-identical to each other.
+    parallel: Optional[int] = None
+    # With sharding: wrap each shard process in cProfile (merged by the CLI).
+    profile_shards: bool = False
+    # Hash every worker's final bin states into the result (sharded runs
+    # always do; serial runs opt in — it is how serial-vs-sharded logical
+    # equivalence is asserted).
+    fingerprint_state: bool = False
 
     def make_workload(self):
         """The configured workload object (uniform or skewed)."""
@@ -193,6 +203,12 @@ class ExperimentResult:
     final_imbalance: float = 0.0
     # The calibrated cost model (post-run), for prediction-vs-observed checks.
     cost_model: Optional[MigrationCostModel] = None
+    # Sharded-run report (None for serial runs): mode, children, rounds,
+    # lookahead, per-domain event counts, per-worker state fingerprints.
+    parallel: Optional[dict] = None
+    # Per-worker final state fingerprints (sharded always; serial when the
+    # config sets ``fingerprint_state``).
+    state_fingerprints: dict = field(default_factory=dict)
 
     def migration_window(self, index: int) -> tuple[float, float]:
         """(start, end) of migration ``index``, padded by one window."""
@@ -534,6 +550,12 @@ class MigrationExperiment:
             )
             cost_model.close()
             result.cost_model = cost_model
+        if cfg.fingerprint_state and op is not None:
+            from repro.chaos.recovery import store_fingerprint
+
+            result.state_fingerprints = {
+                w: store_fingerprint(store) for w, store in op.stores(runtime)
+            }
         return result
 
     def _schedule_memory_sampler(
@@ -660,6 +682,10 @@ def _build_native_count(df, control, data, cfg: ExperimentConfig):
 
 def run_count_experiment(cfg: ExperimentConfig) -> ExperimentResult:
     """Run the counting microbenchmark under ``cfg``."""
+    if cfg.parallel is not None:
+        from repro.parallel.runner import run_parallel_count_experiment
+
+        return run_parallel_count_experiment(cfg)
     workload = cfg.make_workload()
     build = _build_native_count if cfg.native else _build_megaphone_count
     experiment = MigrationExperiment(cfg, build, workload.make_generator())

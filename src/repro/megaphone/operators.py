@@ -927,6 +927,20 @@ class MigrateableOperator:
         """The bin store resident on ``worker_id`` (tests/metrics)."""
         return runtime.workers[worker_id].shared[f"megaphone:{self.config.name}"]
 
+    def stores(self, runtime, workers=None):
+        """Yield ``(worker_id, store)`` for workers with a materialized store.
+
+        A worker that never processed a record has no store; sharded
+        runtimes host only their resident workers.  ``workers`` restricts
+        the sweep (e.g. to a shard's residents); None sweeps everyone.
+        """
+        key = f"megaphone:{self.config.name}"
+        ids = range(runtime.num_workers) if workers is None else workers
+        for worker_id in ids:
+            store = runtime.workers[worker_id].shared.get(key)
+            if store is not None:
+                yield worker_id, store
+
 
 def build_migrateable(
     control: Stream,

@@ -1,0 +1,41 @@
+"""Parallel sharded simulation (conservative parallel-DES).
+
+The serial simulator executes the whole modeled cluster on one interpreter
+thread.  This package shards the discrete-event simulation along the existing
+``workers_per_process`` partition — one *domain* per simulated process group —
+and runs the domains on real OS processes, synchronized with a conservative
+(YAWNS-style) window protocol whose lookahead is the minimum cross-shard link
+latency in :mod:`repro.sim.network`.
+
+Entry point: :func:`repro.parallel.runner.run_parallel_count_experiment`,
+reached through ``ExperimentConfig.parallel`` / the ``--parallel`` CLI flag.
+See DESIGN.md §14 for the protocol and its determinism argument.
+"""
+
+from repro.parallel.partition import ShardPartition
+from repro.parallel.sync import ParallelStall
+
+__all__ = [
+    "ParallelConfigError",
+    "ParallelStall",
+    "ShardCrashed",
+    "ShardPartition",
+    "result_fingerprint",
+    "run_parallel_count_experiment",
+]
+
+
+def __getattr__(name):
+    # Lazy: runner/supervisor import the harness, which imports back into
+    # this package for the partition type; keep the light names eager and
+    # the heavy ones deferred.
+    if name in ("ParallelConfigError", "result_fingerprint",
+                "run_parallel_count_experiment"):
+        from repro.parallel import runner
+
+        return getattr(runner, name)
+    if name == "ShardCrashed":
+        from repro.parallel.supervisor import ShardCrashed
+
+        return ShardCrashed
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,153 @@
+"""Parallel experiment entry point: validate, shard, run, assemble.
+
+``run_parallel_count_experiment`` is the ``--parallel`` twin of
+``run_count_experiment``: same config in, same :class:`ExperimentResult`
+out, plus a ``result.parallel`` dict describing the sharded run (mode,
+children, rounds, lookahead, per-domain event counts, per-worker state
+fingerprints).  ``--parallel 0`` runs every shard in-process (the sharded
+reference engine); ``--parallel N`` forks N children.  Both produce
+byte-identical simulations — `result_fingerprint` condenses the
+determinism-relevant outputs into one digest for asserting exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time as wallclock
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult
+from repro.parallel.partition import ShardPartition
+from repro.parallel.supervisor import ForkExecutor, LocalExecutor
+from repro.parallel.sync import run_protocol
+from repro.sim.memory import MemoryTimeline
+
+
+class ParallelConfigError(ValueError):
+    """The config asks for a feature the sharded engine does not support."""
+
+
+_UNSUPPORTED = (
+    ("chaos", "fault injection (chaos)"),
+    ("planner", "the closed-loop planner"),
+)
+_UNSUPPORTED_FLAGS = (
+    ("sample_memory", "memory sampling"),
+    ("collect_trace", "migration trace collection"),
+    ("native", "the native (non-migrateable) baseline"),
+)
+
+
+def validate_parallel_config(cfg: ExperimentConfig) -> None:
+    """Reject configs the sharded engine cannot honor, loudly and early."""
+    if cfg.parallel is None:
+        return
+    if cfg.parallel < 0:
+        raise ParallelConfigError("--parallel must be >= 0")
+    for attr, label in _UNSUPPORTED:
+        if getattr(cfg, attr) is not None:
+            raise ParallelConfigError(
+                f"--parallel does not support {label}; "
+                "run it serially (drop --parallel)"
+            )
+    for attr, label in _UNSUPPORTED_FLAGS:
+        if getattr(cfg, attr):
+            raise ParallelConfigError(
+                f"--parallel does not support {label}; "
+                "run it serially (drop --parallel)"
+            )
+
+
+def run_parallel_count_experiment(
+    cfg: ExperimentConfig, profile_dir=None
+) -> ExperimentResult:
+    """Run the counting microbenchmark sharded under ``cfg.parallel``."""
+    validate_parallel_config(cfg)
+    partition = ShardPartition(cfg.num_workers, cfg.workers_per_process)
+    started = wallclock.perf_counter()
+    if cfg.parallel == 0:
+        executor = LocalExecutor(cfg, partition)
+    else:
+        if cfg.profile_shards and profile_dir is None:
+            import tempfile
+
+            profile_dir = tempfile.mkdtemp(prefix="repro-shard-profiles-")
+        executor = ForkExecutor(
+            cfg, partition, cfg.parallel, profile_dir=profile_dir
+        )
+    try:
+        rounds = run_protocol(executor)
+        reports = executor.finalize()
+    finally:
+        executor.close()
+
+    root = reports[0]
+    if not root["controllers_done"]:
+        raise RuntimeError(
+            "migration did not complete; dataflow stalled "
+            f"({root['pending_steps']} steps awaiting completion)"
+        )
+    fingerprints: dict[int, str] = {}
+    for report in reports.values():
+        fingerprints.update(report["fingerprints"])
+    result = ExperimentResult(
+        config=cfg,
+        timeline=root["timeline"],
+        migrations=list(root["migrations"]),
+        memory=[
+            MemoryTimeline(process=d) for d in partition.domains()
+        ],
+        records_injected=sum(r["records_injected"] for r in reports.values()),
+        sim_events=sum(r["sim_events"] for r in reports.values()),
+        wall_seconds=wallclock.perf_counter() - started,
+        state_fingerprints={w: fingerprints[w] for w in sorted(fingerprints)},
+    )
+    result.parallel = {
+        "mode": executor.mode,
+        "shards": cfg.parallel,
+        "children": executor.num_children,
+        "domains": partition.num_domains,
+        "lookahead_s": executor.lookahead,
+        "rounds": rounds,
+        "sim_events_per_domain": {
+            d: reports[d]["sim_events"] for d in sorted(reports)
+        },
+        "records_per_domain": {
+            d: reports[d]["records_injected"] for d in sorted(reports)
+        },
+        "fingerprints": {w: fingerprints[w] for w in sorted(fingerprints)},
+        "profile_paths": [
+            p for p in getattr(executor, "profile_paths", []) or []
+        ],
+        "shm_encoded": sum(r.get("shm_encoded", 0) for r in reports.values()),
+        "shm_fallback": sum(
+            r.get("shm_fallback", 0) for r in reports.values()
+        ),
+    }
+    return result
+
+
+def result_fingerprint(result: ExperimentResult) -> str:
+    """One digest over everything determinism promises to reproduce.
+
+    Covers final per-worker state fingerprints, global and per-domain
+    event counts, injected records, migration step timings, and the
+    latency timeline — byte-identical runs agree on all of it.
+    """
+    digest = hashlib.sha256()
+    parallel = getattr(result, "parallel", None) or {}
+    for worker, fp in sorted(parallel.get("fingerprints", {}).items()):
+        digest.update(f"w{worker}:{fp};".encode())
+    digest.update(f"records={result.records_injected};".encode())
+    digest.update(f"events={result.sim_events};".encode())
+    for d, n in sorted(parallel.get("sim_events_per_domain", {}).items()):
+        digest.update(f"d{d}:{n};".encode())
+    for migration in result.migrations:
+        for step in migration.steps:
+            digest.update(
+                f"step@{step.issued_at!r}->{step.completed_at!r};".encode()
+            )
+    for stats in result.timeline.series():
+        digest.update(
+            f"t{stats.start_s!r}:{stats.count}:{stats.max_s!r};".encode()
+        )
+    return digest.hexdigest()

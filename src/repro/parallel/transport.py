@@ -1,0 +1,284 @@
+"""Shared-memory transport for cross-shard column batches.
+
+Cross-shard messages travel two ways:
+
+* **Control plane** (always): the pickled :class:`RemoteData` /
+  :class:`RemoteProgress` envelopes ride the supervisor pipes.
+* **Data plane** (numpy builds): the column payloads of KV batches are
+  memcpy'd into a per-directed-domain-pair :class:`ShmRing` — a
+  single-producer single-consumer byte arena over
+  ``multiprocessing.shared_memory`` — and the envelope carries only
+  ``(offset, length)`` references.  The pickle then ships tens of bytes
+  instead of the whole batch.
+
+Ring discipline: offsets are *monotonic* byte positions (physical position
+is ``offset % capacity``); a write that would straddle the wrap pads to the
+boundary so every payload is contiguous.  Head/tail counters live in the
+writer process only — the reader acknowledges consumed-up-to offsets in its
+round reply, and the supervisor relays them to the writer one round later,
+so the ring must hold roughly two windows of traffic.  A full ring (or a
+non-columnar payload) falls back to pickling the object itself, which is
+always correct — the ring is purely an optimization.
+
+Determinism: a shm round-trip reproduces the exact column values and
+dtypes (``frombuffer(...).copy()``), so simulation behavior is identical
+whether a payload traveled by ring or by pickle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runtime_events.columns import ColumnBatch, _np as np
+from repro.runtime_events.items import DestinationBatch
+
+
+def shm_supported() -> bool:
+    """True when the columnar (numpy) data plane can be used."""
+    return np is not None
+
+
+@dataclass(slots=True)
+class ShmRef:
+    """A contiguous payload in a ring: monotonic offset + byte length."""
+
+    offset: int
+    length: int
+
+
+@dataclass(slots=True)
+class ShmColumnBatch:
+    """Envelope stand-in for a :class:`ColumnBatch` shipped via ring."""
+
+    meta: tuple
+    refs: list
+
+
+@dataclass(slots=True)
+class ShmVector:
+    """Envelope stand-in for a bare numpy vector (e.g. ``bin_ids``)."""
+
+    dtype: str
+    ref: ShmRef
+
+
+@dataclass(slots=True)
+class ShmDestinationBatch:
+    """Envelope stand-in for a :class:`DestinationBatch` whose columnar
+    fields were shipped via ring; scalar fields ride along pickled."""
+
+    dst: int
+    count: int
+    bins: object
+    bin_ids: object
+    columns: object
+    tag: int
+
+
+class ShmRing:
+    """Single-producer single-consumer byte ring in shared memory.
+
+    Created by the supervisor *before* forking; children inherit the
+    mapping, so no attach-by-name is needed and only the creator is
+    registered with the resource tracker (the supervisor unlinks on
+    shutdown).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        from multiprocessing import shared_memory
+
+        self.capacity = capacity
+        self._shm = shared_memory.SharedMemory(create=True, size=capacity)
+        self.name = self._shm.name
+        # Writer-side bookkeeping (meaningful only in the producer process).
+        self.head = 0
+        self.tail = 0
+
+    # -- writer side -------------------------------------------------------
+
+    def _alloc(self, length: int) -> Optional[int]:
+        if length > self.capacity:
+            return None
+        head = self.head
+        pos = head % self.capacity
+        if pos + length > self.capacity:
+            head += self.capacity - pos  # pad: payloads stay contiguous
+        if head + length - self.tail > self.capacity:
+            return None
+        self.head = head + length
+        return head
+
+    def write(self, data) -> Optional[ShmRef]:
+        """Copy ``data`` (a buffer) into the ring; None when full."""
+        view = memoryview(data).cast("B")
+        length = view.nbytes
+        offset = self._alloc(length)
+        if offset is None:
+            return None
+        pos = offset % self.capacity
+        self._shm.buf[pos:pos + length] = view
+        return ShmRef(offset=offset, length=length)
+
+    def write_all(self, buffers) -> Optional[list]:
+        """All-or-nothing write of several buffers (rolls back on full)."""
+        snapshot = self.head
+        refs = []
+        for buf in buffers:
+            ref = self.write(buf)
+            if ref is None:
+                self.head = snapshot
+                return None
+            refs.append(ref)
+        return refs
+
+    def ack(self, upto: int) -> None:
+        """Release ring space: the reader consumed everything below ``upto``."""
+        if upto > self.tail:
+            self.tail = upto
+
+    # -- reader side -------------------------------------------------------
+
+    def read(self, ref: ShmRef) -> bytes:
+        pos = ref.offset % self.capacity
+        return bytes(self._shm.buf[pos:pos + ref.length])
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except (OSError, FileNotFoundError):
+            pass
+
+
+class ShmCodec:
+    """Encodes/decodes cross-shard payloads against a ring map.
+
+    ``rings`` maps ``(src_domain, dst_domain)`` to a :class:`ShmRing`.
+    The encoder runs in the producing child (writer side of the ring); the
+    decoder runs in the consuming child and records consumed-up-to offsets
+    for the ack relay.
+    """
+
+    def __init__(self, rings: Optional[dict]) -> None:
+        self.rings = rings or {}
+        self._consumed: dict[tuple, int] = {}
+        self.encoded = 0
+        self.fallback = 0
+
+    # -- encode (writer child) --------------------------------------------
+
+    def encode_entry(self, entry) -> None:
+        """Rewrite ``entry.records`` in place with ring references where
+        possible; leaves it untouched (pickle fallback) otherwise."""
+        ring = self.rings.get((entry.src_domain, entry.dst_domain))
+        if ring is None:
+            return
+        encoded, used = self._encode(entry.records, ring)
+        if used:
+            entry.records = encoded
+            self.encoded += 1
+        else:
+            self.fallback += 1
+
+    def _encode(self, obj, ring: ShmRing):
+        if type(obj) is ColumnBatch:
+            pair = obj.to_buffers()
+            if pair is not None:
+                meta, buffers = pair
+                refs = ring.write_all(buffers)
+                if refs is not None:
+                    return ShmColumnBatch(meta=meta, refs=refs), True
+            return obj, False
+        if type(obj) is DestinationBatch:
+            columns, used_c = (None, False)
+            if obj.columns is not None:
+                columns, used_c = self._encode(obj.columns, ring)
+            bin_ids, used_b = self._encode_vector(obj.bin_ids, ring)
+            if used_c or used_b:
+                return (
+                    ShmDestinationBatch(
+                        dst=obj.dst,
+                        count=obj.count,
+                        bins=obj.bins,
+                        bin_ids=bin_ids,
+                        columns=columns,
+                        tag=obj.tag,
+                    ),
+                    True,
+                )
+            return obj, False
+        if type(obj) is list:
+            encoded = [self._encode(item, ring) for item in obj]
+            if any(used for _, used in encoded):
+                return [item for item, _ in encoded], True
+            return obj, False
+        return obj, False
+
+    def _encode_vector(self, vec, ring: ShmRing):
+        if np is None or not isinstance(vec, np.ndarray) or vec.ndim != 1:
+            return vec, False
+        ref = ring.write(np.ascontiguousarray(vec))
+        if ref is None:
+            return vec, False
+        return ShmVector(dtype=str(vec.dtype), ref=ref), True
+
+    # -- decode (reader child) --------------------------------------------
+
+    def decode_entry(self, entry) -> None:
+        """Resolve ring references in ``entry.records`` back into arrays."""
+        key = (entry.src_domain, entry.dst_domain)
+        ring = self.rings.get(key)
+        if ring is None:
+            return
+        entry.records = self._decode(entry.records, ring, key)
+
+    def _decode(self, obj, ring: ShmRing, key):
+        t = type(obj)
+        if t is ShmColumnBatch:
+            buffers = [self._take(ring, key, ref) for ref in obj.refs]
+            return ColumnBatch.from_buffers(obj.meta, buffers)
+        if t is ShmVector:
+            raw = self._take(ring, key, obj.ref)
+            return np.frombuffer(raw, dtype=obj.dtype).copy()
+        if t is ShmDestinationBatch:
+            return DestinationBatch(
+                dst=obj.dst,
+                count=obj.count,
+                bins=obj.bins,
+                bin_ids=self._decode(obj.bin_ids, ring, key),
+                columns=self._decode(obj.columns, ring, key),
+                tag=obj.tag,
+            )
+        if t is list:
+            return [self._decode(item, ring, key) for item in obj]
+        return obj
+
+    def _take(self, ring: ShmRing, key, ref: ShmRef) -> bytes:
+        raw = ring.read(ref)
+        end = ref.offset + ref.length
+        if end > self._consumed.get(key, 0):
+            self._consumed[key] = end
+        return raw
+
+    # -- ack relay ---------------------------------------------------------
+
+    def take_acks(self) -> dict:
+        """Consumed-up-to offsets per ring since the last call."""
+        acks = self._consumed
+        self._consumed = {}
+        return acks
+
+    def apply_acks(self, acks: dict) -> None:
+        """Writer side: release space the (remote) reader has consumed."""
+        for key, upto in acks.items():
+            ring = self.rings.get(key)
+            if ring is not None:
+                ring.ack(upto)

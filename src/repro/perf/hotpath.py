@@ -63,8 +63,13 @@ class BenchScale:
     # Which repro.state backend the benched operators run on.  "dict" is
     # the seed-identical default; CI also smokes "tiered".
     state_backend: str = "dict"
+    # Cross-process link latency.  The default matches the cluster default;
+    # the "parallel" scale raises it to milliseconds — the conservative
+    # window protocol's lookahead equals this latency, and a sharded run
+    # amortizes its barrier cost over one window of events.
+    network_latency_s: float = 40e-6
 
-    def hashcount_config(self) -> ExperimentConfig:
+    def hashcount_config(self, parallel=None) -> ExperimentConfig:
         """The hash-count workload at this scale (one batched migration)."""
         return ExperimentConfig(
             num_workers=self.num_workers,
@@ -80,6 +85,8 @@ class BenchScale:
             domain=self.domain,
             variant="hash",
             state_backend=self.state_backend,
+            network_latency_s=self.network_latency_s,
+            parallel=parallel,
         )
 
     def q3_config(self) -> ExperimentConfig:
@@ -94,6 +101,7 @@ class BenchScale:
             migrate_at_s=(),
             seed=1,
             state_backend=self.state_backend,
+            network_latency_s=self.network_latency_s,
         )
 
 
@@ -134,6 +142,21 @@ SCALES: dict[str, BenchScale] = {
         q3_rate=20_000.0,
         repeats=3,
     ),
+    # Sharded-execution scale: four domains (8 workers / 2 per process) and
+    # millisecond links, so each conservative window covers a meaningful
+    # slab of events instead of a handful.
+    "parallel": BenchScale(
+        name="parallel",
+        num_workers=8,
+        workers_per_process=2,
+        num_bins=256,
+        rate=40_000.0,
+        duration_s=4.0,
+        domain=1_000_000,
+        q3_rate=16_000.0,
+        repeats=2,
+        network_latency_s=10e-3,
+    ),
 }
 
 
@@ -156,6 +179,33 @@ BASELINE: dict[str, dict] = {
         "sim_events_per_s": 65_189.42,
     },
 }
+
+
+def machine_metadata() -> dict:
+    """The measurement environment, recorded alongside every report.
+
+    Throughput numbers are only comparable between identical environments;
+    ``check_report`` downgrades regressions to warnings when these differ
+    (a 1-core CI runner must not fail a gate calibrated on a laptop).
+    """
+    import os
+    import platform
+
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover
+        numpy_version = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "batch_representation": active_representation(),
+    }
 
 
 def _measure(run: Callable[[], object], repeats: int) -> dict:
@@ -241,18 +291,59 @@ def layer_breakdown(run: Callable[[], object]) -> dict[str, dict]:
     }
 
 
+def run_parallel_bench(scale: BenchScale, shards: int) -> dict:
+    """Sharded vs sharded-reference throughput of the hash-count workload.
+
+    Times the ``--parallel 0`` in-process reference engine against
+    ``--parallel shards`` forked execution of the *same* sharded
+    simulation, asserts they were byte-identical (``deterministic``), and
+    reports the wall-clock speedup.  On a single-core box the forked run
+    can be slower — that is the honest number, which is why the machine
+    metadata travels with the report.
+    """
+    from repro.parallel.runner import result_fingerprint
+
+    serial_cfg = scale.hashcount_config(parallel=0)
+    parallel_cfg = scale.hashcount_config(parallel=shards)
+    fingerprints: dict[str, str] = {}
+
+    def timed(cfg, key):
+        def run():
+            result = run_count_experiment(cfg)
+            fingerprints[key] = result_fingerprint(result)
+            return result
+
+        return run
+
+    serial = _measure(timed(serial_cfg, "serial"), scale.repeats)
+    forked = _measure(timed(parallel_cfg, "parallel"), scale.repeats)
+    return {
+        "shards": shards,
+        "serial_sharded": serial,
+        "parallel": forked,
+        "speedup": round(
+            forked["records_per_s"] / serial["records_per_s"], 3
+        ),
+        "deterministic": fingerprints["serial"] == fingerprints["parallel"],
+        "fingerprint": fingerprints["serial"],
+    }
+
+
 def run_bench(
     scale_name: str = "full",
     layers: bool = True,
     repeats: Optional[int] = None,
     state_backend: str = "dict",
+    parallel: Optional[int] = None,
 ) -> dict:
     """Run both workloads at ``scale_name``; return the full report dict.
 
-    The report carries the scale's exact configuration, the measured
-    throughput of both workloads, the per-layer CPU breakdown (unless
-    ``layers`` is False), and — at the ``full`` scale, where the checked-in
-    baseline applies — the baseline numbers and the speedup against them.
+    The report carries the scale's exact configuration, the measurement
+    environment, the measured throughput of both workloads, the per-layer
+    CPU breakdown (unless ``layers`` is False), the sharded-execution
+    section (when ``parallel`` is set), and — at the ``full`` scale, where
+    the checked-in baseline applies — the baseline numbers and the speedup
+    against them.
     """
     if scale_name not in SCALES:
         raise ValueError(
@@ -267,16 +358,19 @@ def run_bench(
     if overrides:
         scale = BenchScale(**{**asdict(scale), **overrides})
     report: dict = {
-        "schema": "bench-hotpath/1",
+        "schema": "bench-hotpath/2",
         "scale": scale.name,
         "state_backend": scale.state_backend,
         "batch_representation": active_representation(),
+        "machine": machine_metadata(),
         "config": asdict(scale),
         "workloads": {
             "hash_count": run_hashcount_bench(scale),
             "nexmark_q3": run_q3_bench(scale),
         },
     }
+    if parallel is not None:
+        report["parallel"] = run_parallel_bench(scale, parallel)
     if layers:
         hc_cfg = scale.hashcount_config()
         q3_cfg = scale.q3_config()
@@ -308,18 +402,51 @@ def write_report(report: dict, path: str) -> None:
         out.write("\n")
 
 
+# Machine-metadata keys that make throughput numbers comparable at all.
+_MACHINE_KEYS = (
+    "cpu_count",
+    "machine",
+    "implementation",
+    "numpy",
+    "batch_representation",
+)
+
+
+def machines_comparable(current: Optional[dict], committed: Optional[dict]) -> bool:
+    """Whether two reports were measured in comparable environments.
+
+    Older (schema 1) baselines carry no machine block; they are treated as
+    *not* comparable — the check degrades to warnings until the baseline
+    is regenerated with metadata.
+    """
+    if not current or not committed:
+        return False
+    return all(current.get(k) == committed.get(k) for k in _MACHINE_KEYS)
+
+
 def check_report(
-    report: dict, baseline_path: str, tolerance: float = 0.15
+    report: dict,
+    baseline_path: str,
+    tolerance: float = 0.15,
+    tolerance_overrides: Optional[dict] = None,
 ) -> tuple[bool, list[dict]]:
     """Compare a fresh report against a committed baseline report file.
 
     Returns ``(ok, rows)``: one row per workload present in both reports,
     each carrying the baseline and current ``records_per_s``, the relative
     delta, and a status — ``"ok"``, or ``"regression"`` when throughput
-    dropped more than ``tolerance`` below the committed number.  Faster
-    runs never fail.  The scales must match: throughput at one scale says
-    nothing about another, so a mismatch raises instead of passing
-    silently.
+    dropped more than the workload's tolerance below the committed number
+    (``tolerance_overrides`` maps workload name to a per-workload
+    tolerance; others use ``tolerance``).  Faster runs never fail.
+
+    When the two reports' machine metadata differ (different core count,
+    CPU architecture, interpreter, numpy availability, or batch
+    representation — anything that legitimately moves throughput), a
+    regression is reported as ``"cross-machine-warn"`` and does **not**
+    fail the check: wall-clock numbers only gate within one environment.
+
+    The scales must match: throughput at one scale says nothing about
+    another, so a mismatch raises instead of passing silently.
     """
     with open(baseline_path, encoding="utf-8") as handle:
         baseline = json.load(handle)
@@ -330,6 +457,10 @@ def check_report(
             f"baseline's scale {baseline_scale!r}; rerun with --scale "
             f"{baseline_scale}"
         )
+    comparable = machines_comparable(
+        report.get("machine"), baseline.get("machine")
+    )
+    overrides = tolerance_overrides or {}
     rows: list[dict] = []
     ok = True
     for workload, numbers in report["workloads"].items():
@@ -339,16 +470,23 @@ def check_report(
         base_rps = committed["records_per_s"]
         current_rps = numbers["records_per_s"]
         delta = (current_rps - base_rps) / base_rps if base_rps else 0.0
-        regressed = delta < -tolerance
-        if regressed:
+        allowed = overrides.get(workload, tolerance)
+        regressed = delta < -allowed
+        if regressed and comparable:
             ok = False
+            status = "regression"
+        elif regressed:
+            status = "cross-machine-warn"
+        else:
+            status = "ok"
         rows.append(
             {
                 "workload": workload,
                 "baseline_records_per_s": base_rps,
                 "records_per_s": current_rps,
                 "delta": round(delta, 4),
-                "status": "regression" if regressed else "ok",
+                "tolerance": allowed,
+                "status": status,
             }
         )
     return ok, rows

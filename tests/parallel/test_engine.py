@@ -1,0 +1,71 @@
+"""Tests for the per-domain simulator's deterministic event ordering."""
+
+import pytest
+
+from repro.parallel.engine import DomainSimulator
+
+
+def test_remote_fires_before_local_at_equal_time():
+    sim = DomainSimulator()
+    order = []
+    sim.schedule_at(1.0, lambda: order.append("local"))
+    sim.inject_remote(1.0, src_domain=0, src_seq=0, callback=lambda: order.append("remote"))
+    sim.run()
+    assert order == ["remote", "local"]
+
+
+def test_remote_injections_order_by_source_then_seq():
+    sim = DomainSimulator()
+    order = []
+    # Inserted deliberately out of (src_domain, src_seq) order.
+    sim.inject_remote(1.0, 2, 0, lambda: order.append("d2s0"))
+    sim.inject_remote(1.0, 1, 1, lambda: order.append("d1s1"))
+    sim.inject_remote(1.0, 1, 0, lambda: order.append("d1s0"))
+    sim.run()
+    assert order == ["d1s0", "d1s1", "d2s0"]
+
+
+def test_local_events_preserve_schedule_order():
+    sim = DomainSimulator()
+    order = []
+    sim.schedule_at(1.0, lambda: order.append("a"))
+    sim.schedule_fast_at(1.0, lambda: order.append("b"))
+    sim.schedule_at(1.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_injection_in_past_is_a_lookahead_violation():
+    sim = DomainSimulator()
+    sim.schedule_at(2.0, lambda: None)
+    sim.run()
+    assert sim.now == 2.0
+    with pytest.raises(ValueError, match="violates lookahead"):
+        sim.inject_remote(1.0, 0, 0, lambda: None)
+
+
+def test_run_below_fires_strictly_below_bound_only():
+    sim = DomainSimulator()
+    fired = []
+    sim.schedule_at(1.0, lambda: fired.append(1.0))
+    sim.schedule_at(2.0, lambda: fired.append(2.0))
+    sim.schedule_at(3.0, lambda: fired.append(3.0))
+    n = sim.run_below(2.0)
+    assert n == 1
+    assert fired == [1.0]
+    # The clock does NOT advance to the bound: an event at exactly 2.0 can
+    # still be injected remotely after this window.
+    assert sim.now == 1.0
+    sim.inject_remote(2.0, 0, 0, lambda: fired.append("remote@2"))
+    sim.run_below(2.5)
+    assert fired == [1.0, "remote@2", 2.0]
+
+
+def test_schedule_in_past_still_raises():
+    sim = DomainSimulator()
+    sim.schedule_at(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_fast_at(0.5, lambda: None)

@@ -1,0 +1,132 @@
+"""Tests for the sharded progress-tracker views and broadcast batching."""
+
+from repro.parallel.progress import CAP, MSG, DomainTracker, SlackAntichain
+from repro.timely.graph import GraphBuilder, Pipeline
+
+
+class _Noop:
+    pass
+
+
+def chain_graph(n_ops=3):
+    graph = GraphBuilder()
+    graph.add_operator("source", 0, 1, lambda w: _Noop(), is_source=True)
+    for i in range(1, n_ops):
+        graph.add_operator(f"op{i}", 1, 1, lambda w: _Noop())
+        graph.connect(i - 1, 0, i, 0, Pipeline())
+    return graph
+
+
+# -- SlackAntichain --------------------------------------------------------
+
+
+def test_slack_antichain_tolerates_negative_counts():
+    chain = SlackAntichain()
+    # Consume seen before the matching send (third-party view skew).
+    assert chain.update(5, -1) is False  # 0 -> -1: positives unchanged
+    assert chain.is_empty()
+    assert chain.frontier().is_empty()
+    assert chain.total() == 0
+    # The matching send arrives: -1 -> 0, still no positive timestamp.
+    assert chain.update(5, +1) is False
+    assert chain.is_empty()
+
+
+def test_slack_antichain_positive_transitions_signal_change():
+    chain = SlackAntichain()
+    assert chain.update(3, +1) is True  # 0 -> 1: became positive
+    assert chain.frontier().elements() == [3]
+    assert chain.total() == 1
+    assert chain.update(3, +1) is False  # 1 -> 2: still positive
+    assert chain.update(3, -2) is True  # 2 -> 0: no longer positive
+    assert chain.is_empty()
+
+
+def test_slack_antichain_masks_negative_from_frontier():
+    chain = SlackAntichain()
+    chain.update(1, -1)
+    chain.update(7, +1)
+    assert chain.frontier().elements() == [7]
+    assert chain.total() == 1
+
+
+# -- DomainTracker ---------------------------------------------------------
+
+
+def _clock(value):
+    box = {"now": value}
+    return box, (lambda: box["now"])
+
+
+def test_local_accounting_matches_base_tracker_and_logs():
+    box, clock = _clock(0.0)
+    tracker = DomainTracker(chain_graph(), clock=clock)
+    tracker.capability_update(0, 5, +1)
+    assert tracker.output_frontier(0).elements() == [5]
+    tracker.message_sent(0, 3)
+    assert tracker.input_frontier(1, 0).elements() == [3]
+    batches = tracker.take_update_batches(quantum=0.010)
+    # Same generation -> same delivery quantum, one atomic batch.
+    assert len(batches) == 1
+    delivery, batch = batches[0]
+    assert delivery >= 0.010
+    assert set(batch) == {(CAP, 0, 5, 1), (MSG, 0, 3, 1)}
+    # The log drained.
+    assert tracker.take_update_batches(quantum=0.010) == []
+
+
+def test_batches_net_coalesce_within_a_quantum():
+    box, clock = _clock(0.0)
+    tracker = DomainTracker(chain_graph(), clock=clock)
+    tracker.capability_update(0, 5, +1)
+    tracker.message_sent(0, 3)
+    tracker.message_consumed(0, 3)  # cancels the send within the quantum
+    [(_, batch)] = tracker.take_update_batches(quantum=1.0)
+    assert batch == ((CAP, 0, 5, 1),)
+
+
+def test_batches_split_by_quantum_with_monotone_delivery():
+    box, clock = _clock(0.0)
+    tracker = DomainTracker(chain_graph(), clock=clock)
+    tracker.capability_update(0, 1, +1)
+    box["now"] = 0.025
+    tracker.capability_update(0, 2, +1)
+    batches = tracker.take_update_batches(quantum=0.010)
+    assert len(batches) == 2
+    deliveries = [d for d, _ in batches]
+    assert deliveries == sorted(deliveries)
+    for (delivery, _), gen in zip(batches, (0.0, 0.025)):
+        assert delivery >= gen + 0.010
+
+
+def test_seed_capability_is_not_broadcast():
+    box, clock = _clock(0.0)
+    tracker = DomainTracker(chain_graph(), clock=clock)
+    tracker.seed_capability(0, 0, +1)
+    assert tracker.output_frontier(0).elements() == [0]
+    assert tracker.take_update_batches(quantum=0.010) == []
+
+
+def test_apply_remote_mirrors_sender_accounting():
+    box, clock = _clock(0.0)
+    sender = DomainTracker(chain_graph(), clock=clock)
+    receiver = DomainTracker(chain_graph(), clock=clock)
+    sender.capability_update(0, 5, +1)
+    sender.message_sent(0, 3)
+    for _, batch in sender.take_update_batches(quantum=0.010):
+        receiver.apply_remote(batch)
+    assert receiver.output_frontier(0).elements() == [5]
+    assert receiver.input_frontier(1, 0).elements() == [3]
+    # Applying a remote batch logs nothing (no broadcast echo).
+    assert receiver.take_update_batches(quantum=0.010) == []
+
+
+def test_apply_remote_consume_before_send_does_not_raise():
+    box, clock = _clock(0.0)
+    receiver = DomainTracker(chain_graph(), clock=clock)
+    receiver.seed_capability(0, 10, +1)
+    # A consume from domain A lands before the matching send from domain B.
+    receiver.apply_remote([(MSG, 0, 3, -1)])
+    assert receiver.input_frontier(1, 0).elements() == [10]
+    receiver.apply_remote([(MSG, 0, 3, +1)])
+    assert receiver.input_frontier(1, 0).elements() == [10]

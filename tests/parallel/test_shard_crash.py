@@ -1,0 +1,73 @@
+"""A dead shard surfaces as a structured error, never a hang; and configs
+the sharded engine cannot honor are rejected before any fork."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, run_count_experiment
+from repro.parallel.runner import ParallelConfigError, validate_parallel_config
+from repro.parallel.supervisor import ShardCrashed
+
+
+def smoke_cfg(**overrides):
+    cfg = ExperimentConfig(
+        num_workers=4,
+        workers_per_process=2,
+        num_bins=16,
+        domain=1 << 12,
+        rate=1500.0,
+        duration_s=1.5,
+        migrate_at_s=(0.6,),
+        strategy="batched",
+        batch_size=4,
+        network_latency_s=10e-3,
+    )
+    return replace(cfg, **overrides)
+
+
+def test_shard_crash_mid_run_raises_structured_error(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL_CRASH_AT", "5")
+    with pytest.raises(ShardCrashed) as excinfo:
+        run_count_experiment(smoke_cfg(parallel=2))
+    err = excinfo.value
+    assert err.shard == 0
+    assert err.round_no >= 5
+    assert "shard 0 failed during synchronization round" in str(err)
+
+
+def test_crash_during_handshake(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL_CRASH_AT", "1")
+    with pytest.raises(ShardCrashed):
+        run_count_experiment(smoke_cfg(parallel=2))
+
+
+def test_crash_leaves_engine_reusable(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL_CRASH_AT", "3")
+    with pytest.raises(ShardCrashed):
+        run_count_experiment(smoke_cfg(parallel=2))
+    monkeypatch.delenv("REPRO_PARALLEL_CRASH_AT")
+    result = run_count_experiment(smoke_cfg(parallel=2))
+    assert result.records_injected > 0
+
+
+@pytest.mark.parametrize(
+    "overrides, label",
+    [
+        ({"sample_memory": True}, "memory sampling"),
+        ({"collect_trace": True}, "trace collection"),
+        ({"native": True}, "native"),
+    ],
+)
+def test_unsupported_flags_rejected_before_forking(overrides, label):
+    with pytest.raises(ParallelConfigError):
+        run_count_experiment(smoke_cfg(parallel=0, **overrides))
+
+
+def test_negative_parallel_rejected():
+    with pytest.raises(ParallelConfigError, match=">= 0"):
+        validate_parallel_config(smoke_cfg(parallel=-1))
+
+
+def test_serial_config_passes_validation():
+    validate_parallel_config(smoke_cfg())  # parallel=None: nothing to check
