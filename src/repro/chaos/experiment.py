@@ -197,6 +197,20 @@ class ChaosRunResult:
         return self.verdict in ("completed", "recovered")
 
 
+def _per_strategy_path(path: str, strategy: str) -> str:
+    """Insert the strategy into an output path, before its extension.
+
+    The chaos matrix runs one experiment per strategy; a single
+    ``--record``/``--export-metrics`` destination would be overwritten
+    four times, so each strategy gets its own file
+    (``run.jsonl`` -> ``run.batched.jsonl``).
+    """
+    root, dot, ext = path.rpartition(".")
+    if not dot:
+        return f"{path}.{strategy}"
+    return f"{root}.{strategy}.{ext}"
+
+
 def run_chaos_experiment(
     scenario: str,
     strategy: str,
@@ -208,6 +222,15 @@ def run_chaos_experiment(
     if cfg is None:
         cfg = default_chaos_experiment_config()
     cfg = replace(cfg, strategy=strategy)
+    if cfg.record_log:
+        cfg = replace(
+            cfg, record_log=_per_strategy_path(cfg.record_log, strategy)
+        )
+    if cfg.export_metrics and cfg.export_metrics != "-":
+        cfg = replace(
+            cfg,
+            export_metrics=_per_strategy_path(cfg.export_metrics, strategy),
+        )
     cfg = replace(
         cfg, chaos=scenario_chaos(scenario, cfg, seed=seed, **scenario_kwargs)
     )

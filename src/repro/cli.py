@@ -8,6 +8,9 @@ Usage (module form)::
     python -m repro.cli trace --domain 1e7             # per-bin phase breakdown
     python -m repro.cli plan --workload skewed         # closed-loop planner
     python -m repro.cli bench --scale smoke            # hot-path throughput
+    python -m repro.cli count --record run.jsonl       # record an event log
+    python -m repro.cli replay run.jsonl               # verify it reproduces
+    python -m repro.cli matrix --spec sweep.toml       # experiment matrix
     python -m repro.cli list
 
 ``--profile`` (before the subcommand) wraps any command in cProfile and
@@ -86,6 +89,24 @@ def _parallel_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _obsv_args(parser: argparse.ArgumentParser) -> None:
+    """The observability surface shared by the experiment commands."""
+    parser.add_argument(
+        "--export-metrics", default=None, metavar="PATH",
+        help="stream JSON-line metric snapshots to PATH ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus text metrics on localhost:PORT during the "
+        "run (0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="write the versioned event log that `repro.cli replay` "
+        "re-executes and verifies",
+    )
+
+
 def _validate_common(parser: argparse.ArgumentParser, args) -> None:
     """Reject nonsensical parameter combinations with a clear message.
 
@@ -136,6 +157,9 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
         )
     if getattr(args, "min_gain", 0.0) < 0.0:
         parser.error(f"--min-gain must be non-negative, got {args.min_gain}")
+    metrics_port = getattr(args, "metrics_port", None)
+    if metrics_port is not None and metrics_port < 0:
+        parser.error(f"--metrics-port must be >= 0, got {metrics_port}")
     parallel = getattr(args, "parallel", None)
     if parallel is not None:
         if parallel < 0:
@@ -184,6 +208,9 @@ def _config_from(args, **extra) -> ExperimentConfig:
             int(args.hot_capacity) if args.hot_capacity is not None else None
         ),
         delta_migration=args.delta_migration,
+        export_metrics=getattr(args, "export_metrics", None),
+        metrics_port=getattr(args, "metrics_port", None),
+        record_log=getattr(args, "record", None),
         **extra,
     )
 
@@ -212,6 +239,16 @@ def _report(result, title: str) -> None:
           f"wall time: {result.wall_seconds:.1f}s")
 
 
+def _report_obsv(result, args) -> None:
+    """One line per attached observer, so runs with observers say so."""
+    if result.metrics_port is not None:
+        print(f"metrics served on localhost:{result.metrics_port}")
+    record = getattr(args, "record", None)
+    if record:
+        print(f"event log recorded to {record} "
+              f"(verify: python -m repro.cli replay {record})")
+
+
 def cmd_count(args) -> int:
     """Run the counting microbenchmark and print its report."""
     cfg = _config_from(
@@ -234,6 +271,7 @@ def cmd_count(args) -> int:
             f"(pickle fallback {info['shm_fallback']})"
         )
         _print_merged_shard_profile(info["profile_paths"])
+    _report_obsv(result, args)
     return 0
 
 
@@ -261,6 +299,7 @@ def cmd_nexmark(args) -> int:
     cfg = _config_from(args, dilation=args.dilation, native=args.native)
     result = run_nexmark_experiment(args.query, cfg, nexmark=nexmark)
     _report(result, f"NEXMark Q{args.query}")
+    _report_obsv(result, args)
     return 0
 
 
@@ -298,6 +337,10 @@ def cmd_trace(args) -> int:
         domain=int(args.domain),
         bytes_per_key=args.bytes_per_key,
         collect_trace=True,
+        # --topics with no names counts every topic; absent counts none.
+        collect_topic_counts=(
+            tuple(args.topics) if args.topics is not None else None
+        ),
     )
     result = run_count_experiment(cfg)
     trace = result.migration_trace
@@ -326,6 +369,14 @@ def cmd_trace(args) -> int:
                 )
                 for o in outcomes[: args.max_rows]
             ],
+        )
+    if args.topics is not None:
+        counts = result.topic_counts
+        print_table(
+            "bus events by topic",
+            ["topic", "events"],
+            [(t, f"{counts[t]:,}") for t in sorted(counts)]
+            or [("-", "no events on the selected topics")],
         )
     return 0
 
@@ -397,6 +448,7 @@ def cmd_plan(args) -> int:
         f"{len(report.proposals)}; adopted: {len(report.adopted)}"
     )
     print(f"final imbalance (max/mean): {result.final_imbalance:.2f}x")
+    _report_obsv(result, args)
     if args.execute and result.migrations:
         _report(result, f"planner-driven run, objective {args.objective}")
     if args.output:
@@ -473,6 +525,11 @@ def cmd_chaos(args) -> int:
                 for strategy, report in damaged
             ],
         )
+    if args.record:
+        from repro.chaos.experiment import _per_strategy_path
+
+        logs = [_per_strategy_path(args.record, r.strategy) for r in results]
+        print("\nevent logs recorded (one per strategy): " + ", ".join(logs))
     stalled = [r.strategy for r in results if not r.live]
     if stalled:
         print(f"\nFAIL: frontier stalled under {', '.join(stalled)}")
@@ -568,6 +625,15 @@ def cmd_bench(args) -> int:
                 "note: baseline was measured on a different machine; "
                 "regressions reported as warnings only"
             )
+        passed = sum(1 for row in deltas if row["status"] == "ok")
+        warned = sum(
+            1 for row in deltas if row["status"] == "cross-machine-warn"
+        )
+        failed = len(deltas) - passed - warned
+        print(
+            f"check summary: {passed} passed, {warned} warned, "
+            f"{failed} failed"
+        )
         if not ok:
             print("FAIL: throughput regressed beyond tolerance")
             return 1
@@ -578,11 +644,143 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_replay(args) -> int:
+    """Re-execute a recorded run and verify its result fingerprint.
+
+    Exit 0 when the replay reproduces the recorded ``result_fingerprint``
+    byte-identically (and every recorded topic's event count), 1 on
+    drift, 2 when the log itself is unreadable.
+    """
+    from repro.obsv import EventLogError, replay_run
+
+    try:
+        report = replay_run(args.log)
+    except (EventLogError, OSError) as exc:
+        print(f"cannot replay {args.log}: {exc}", file=sys.stderr)
+        return 2
+    print(f"replayed {report.path} (workload: {report.workload_kind})")
+    print(f"recorded fingerprint: {report.expected_fingerprint}")
+    print(f"replayed fingerprint: {report.actual_fingerprint}")
+    print(
+        f"records: {report.records_injected:,}; "
+        f"sim events: {report.sim_events:,}"
+    )
+    if report.ok:
+        print("replay OK: run reproduced byte-identically")
+        return 0
+    if not report.fingerprint_match:
+        print("FAIL: result fingerprint drifted")
+    drifted = report.drifted_topics
+    if drifted:
+        print_table(
+            "drifted topics",
+            ["topic", "recorded", "replayed"],
+            [
+                (
+                    t,
+                    report.expected_events.get(t, 0),
+                    report.actual_events.get(t, 0),
+                )
+                for t in drifted
+            ],
+        )
+    return 1
+
+
+def cmd_matrix(args) -> int:
+    """Run an experiment-matrix spec; write or gate on the report.
+
+    Without ``--check`` the aggregated report is written to ``--output``.
+    With ``--check BASELINE`` the fresh report is compared cell-by-cell
+    against the committed baseline and the command exits 1 on any
+    regression, fingerprint drift, or failed cell.
+    """
+    from repro.obsv.matrix import (
+        MatrixSpecError,
+        check_matrix,
+        load_spec,
+        run_matrix,
+        write_matrix_report,
+    )
+
+    try:
+        spec = load_spec(args.spec)
+    except (MatrixSpecError, OSError) as exc:
+        print(f"cannot load {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    report = run_matrix(spec, jobs=args.jobs, spec_path=args.spec)
+    rows = []
+    for row in report["cells"]:
+        rows.append(
+            (
+                row["cell"],
+                row["status"],
+                f"{row.get('records', 0):,}",
+                f"{row.get('records_per_s', 0.0):,.0f}",
+                format_latency(row["steady_max_latency_s"])
+                if "steady_max_latency_s" in row
+                else "-",
+                row.get("chaos_verdict", "-"),
+            )
+        )
+    print_table(
+        f"experiment matrix ({len(rows)} cells, mode {report['mode']})",
+        ["cell", "status", "records", "records/s", "steady max", "chaos"],
+        rows,
+    )
+    if args.check is not None:
+        try:
+            ok, deltas = check_matrix(
+                report, args.check, tolerance=args.tolerance
+            )
+        except (OSError, ValueError) as exc:
+            print(f"cannot check against {args.check}: {exc}", file=sys.stderr)
+            return 2
+        print_table(
+            f"matrix check vs {args.check}",
+            ["cell", "committed rec/s", "current rec/s", "delta", "status"],
+            [
+                (
+                    row["cell"],
+                    f"{row['baseline_records_per_s']:,.0f}"
+                    if row["baseline_records_per_s"]
+                    else "-",
+                    f"{row['records_per_s']:,.0f}",
+                    f"{row['delta']:+.1%}" if row["delta"] is not None else "-",
+                    row["status"],
+                )
+                for row in deltas
+            ],
+        )
+        passed = sum(1 for row in deltas if row["status"] in ("ok", "new"))
+        warned = sum(1 for row in deltas if row["status"].endswith("-warn"))
+        failed = len(deltas) - passed - warned
+        print(
+            f"check summary: {passed} passed, {warned} warned, "
+            f"{failed} failed"
+        )
+        if not ok:
+            print("FAIL: matrix regressed vs the committed baseline")
+            return 1
+        print("matrix check passed")
+        return 0
+    write_matrix_report(report, args.output)
+    print(f"matrix report written to {args.output}")
+    failed_cells = [
+        row["cell"] for row in report["cells"] if row["status"] != "ok"
+    ]
+    if failed_cells:
+        print(f"FAIL: cells did not complete: {', '.join(failed_cells)}")
+        return 1
+    return 0
+
+
 def cmd_list(args) -> int:
     """List available workloads, strategies, backends, and codecs."""
     from repro.planner import OBJECTIVES
     from repro.state import backend_names, codec_names
 
+    from repro.runtime_events.bus import TOPICS
     from repro.runtime_events.columns import active_representation
 
     print("workloads: count (microbenchmark, uniform or skewed), "
@@ -590,6 +788,7 @@ def cmd_list(args) -> int:
     print(f"strategies: {', '.join(STRATEGIES)}")
     print(f"state backends: {', '.join(backend_names())}")
     print(f"codecs: {', '.join(codec_names())}")
+    print(f"bus topics: {', '.join(TOPICS)}")
     print(f"batch representation: {active_representation()}")
     print(f"planner objectives: {', '.join(OBJECTIVES)}")
     print("planner policies: closed-loop (cooldown, cost/benefit gate, "
@@ -612,6 +811,7 @@ def build_parser() -> argparse.ArgumentParser:
     count = sub.add_parser("count", help="run the counting microbenchmark")
     _common_args(count)
     _parallel_arg(count)
+    _obsv_args(count)
     count.add_argument("--domain", type=float, default=1e6)
     count.add_argument("--bytes-per-key", type=float, default=8.0)
     count.add_argument("--native", action="store_true")
@@ -619,6 +819,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     nexmark = sub.add_parser("nexmark", help="run a NEXMark query")
     _common_args(nexmark)
+    _obsv_args(nexmark)
     nexmark.add_argument("--query", type=int, required=True, choices=range(1, 9))
     nexmark.add_argument("--dilation", type=int, default=1)
     nexmark.add_argument("--state-scale", type=float, default=1.0)
@@ -637,12 +838,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--domain", type=float, default=1e6)
     trace.add_argument("--bytes-per-key", type=float, default=8.0)
     trace.add_argument("--max-rows", type=int, default=16)
+    from repro.runtime_events.bus import TOPICS
+
+    trace.add_argument(
+        "--topics", nargs="*", choices=TOPICS, default=None, metavar="TOPIC",
+        help="also count bus events on these topics (no names = all; "
+        "see `repro.cli list` for the topic names)",
+    )
     trace.set_defaults(fn=cmd_trace, strategy="fluid")
 
     chaos = sub.add_parser(
         "chaos", help="fault-inject every strategy and report verdicts"
     )
     _common_args(chaos)
+    _obsv_args(chaos)
     # Small two-process cluster with heavy state: faults land mid-migration.
     chaos.set_defaults(
         workers=4,
@@ -729,6 +938,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="observe load, propose migration plans, optionally execute",
     )
     _common_args(plan)
+    _obsv_args(plan)
     # A planner run schedules no static migrations; the planner decides.
     plan.set_defaults(migrate_at=[], bins=64, workers=4, duration=8.0)
     from repro.planner import OBJECTIVES
@@ -775,6 +985,44 @@ def build_parser() -> argparse.ArgumentParser:
         "(exit 1 if nothing cleared the gate)",
     )
     plan.set_defaults(fn=cmd_plan)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a recorded event log and verify its fingerprint",
+    )
+    replay.add_argument(
+        "log", help="event log written by --record on a previous run"
+    )
+    replay.set_defaults(fn=cmd_replay)
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="sweep an experiment matrix across parallel workers",
+    )
+    matrix.add_argument(
+        "--spec", required=True, metavar="SPEC_TOML_OR_JSON",
+        help="matrix spec: [matrix] axes, [base] experiment config, "
+        "[tolerance] per-cell check tolerances",
+    )
+    matrix.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: min(cells, cpus); 0 runs inline)",
+    )
+    matrix.add_argument(
+        "--output", default="BENCH_matrix.json",
+        help="where to write the aggregated report",
+    )
+    matrix.add_argument(
+        "--check", default=None, metavar="BASELINE_JSON",
+        help="compare against a committed matrix report instead of "
+        "writing one; exit 1 on regression or fingerprint drift",
+    )
+    matrix.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override the spec's default throughput tolerance in "
+        "--check mode",
+    )
+    matrix.set_defaults(fn=cmd_matrix)
 
     lst = sub.add_parser("list", help="list workloads and strategies")
     lst.set_defaults(fn=cmd_list)

@@ -94,6 +94,20 @@ class ExperimentConfig:
     # (per-bin phase breakdowns).  Observability only: a run is bit-identical
     # with or without it.
     collect_trace: bool = False
+    # Observability surface (repro.obsv).  All three are strict observers —
+    # bus subscribers that cannot perturb the simulation.  ``export_metrics``
+    # streams JSON-line metric snapshots to a path ("-" = stdout);
+    # ``metrics_port`` additionally serves Prometheus text on localhost
+    # (0 picks an ephemeral port); ``record_log`` writes the versioned
+    # event log that `repro.cli replay` re-executes.
+    export_metrics: Optional[str] = None
+    metrics_port: Optional[int] = None
+    metrics_flush_s: float = 0.25
+    record_log: Optional[str] = None
+    # Count bus events per topic into ``result.topic_counts``.  ``None``
+    # disables; ``()`` counts every topic; a non-empty tuple counts only
+    # those topics (replay uses this to diff against a recorded log).
+    collect_topic_counts: Optional[tuple] = None
     native: bool = False  # run the non-migrateable baseline instead
     # Force the per-record reference routing path in F (disables the
     # steady-state flat-owner fast path).  Simulated results must be
@@ -206,6 +220,10 @@ class ExperimentResult:
     # Sharded-run report (None for serial runs): mode, children, rounds,
     # lookahead, per-domain event counts, per-worker state fingerprints.
     parallel: Optional[dict] = None
+    # Per-topic bus event counts (when the config asked for them) and the
+    # bound Prometheus port (when the config served metrics).
+    topic_counts: dict = field(default_factory=dict)
+    metrics_port: Optional[int] = None
     # Per-worker final state fingerprints (sharded always; serial when the
     # config sets ``fingerprint_state``).
     state_fingerprints: dict = field(default_factory=dict)
@@ -263,10 +281,14 @@ class MigrationExperiment:
         config: ExperimentConfig,
         build: Callable,
         generator: Callable[[int, int, int], list],
+        record_extra: Optional[dict] = None,
     ) -> None:
         self.config = config
         self._build = build
         self._generator = generator
+        # Event-log header extras (the nexmark harness records its query
+        # number here so replay can dispatch the right runner).
+        self._record_extra = record_extra
 
     def run(self) -> ExperimentResult:
         cfg = self.config
@@ -288,6 +310,39 @@ class MigrationExperiment:
         runtime = df.build()
 
         migration_trace = MigrationTrace(sim.trace) if cfg.collect_trace else None
+
+        # -- observability (repro.obsv): exporter, recorder, topic counts ----
+        # All of these are bus subscribers; the simulation is byte-identical
+        # with or without them.  Imported lazily so the harness stays cheap
+        # for the overwhelmingly common unobserved run.
+        exporter = None
+        if cfg.export_metrics or cfg.metrics_port is not None:
+            from repro.obsv.exporter import MetricsExporter
+
+            exporter = MetricsExporter(
+                sim.trace,
+                jsonl=cfg.export_metrics,
+                flush_every_s=cfg.metrics_flush_s,
+            )
+            if cfg.metrics_port is not None:
+                exporter.serve(cfg.metrics_port)
+        event_log = None
+        if cfg.record_log:
+            from repro.obsv.eventlog import EventLogRecorder
+
+            event_log = EventLogRecorder(
+                cfg, sim.trace, cfg.record_log, extra=self._record_extra
+            )
+        topic_counts: dict = {}
+        if cfg.collect_topic_counts is not None:
+
+            def _count_topic(event, _counts=topic_counts) -> None:
+                _counts[event.topic] = _counts.get(event.topic, 0) + 1
+
+            sim.trace.subscribe(
+                _count_topic, topics=cfg.collect_topic_counts or None
+            )
+
         timeline = LatencyTimeline()
         recorder = EpochLatencyRecorder(
             runtime, probe, cfg.granularity_ms, timeline, dilation=cfg.dilation
@@ -550,12 +605,20 @@ class MigrationExperiment:
             )
             cost_model.close()
             result.cost_model = cost_model
-        if cfg.fingerprint_state and op is not None:
+        # Recording forces state fingerprints: the log's footer fingerprint
+        # must cover final state, or replay would verify a weaker pin.
+        if (cfg.fingerprint_state or event_log is not None) and op is not None:
             from repro.chaos.recovery import store_fingerprint
 
             result.state_fingerprints = {
                 w: store_fingerprint(store) for w, store in op.stores(runtime)
             }
+        result.topic_counts = topic_counts
+        if exporter is not None:
+            result.metrics_port = exporter.port
+            exporter.close()
+        if event_log is not None:
+            event_log.finalize(result)
         return result
 
     def _schedule_memory_sampler(

@@ -19,8 +19,12 @@ from repro.megaphone.migration import MigrationPlan, MigrationStep
 # Version 2 adds the optional ``provenance`` block; version-1 documents
 # (no provenance) remain readable, and documents written without
 # provenance are emitted as version 1 so older readers still accept them.
-FORMAT_VERSION = 2
-READ_VERSIONS = (1, 2)
+# The constants live in repro.versions with every other format version;
+# the local names are kept because existing callers import them from here.
+from repro.versions import (  # noqa: E402  (re-export)
+    PLAN_FORMAT_VERSION as FORMAT_VERSION,
+    PLAN_READ_VERSIONS as READ_VERSIONS,
+)
 
 
 @dataclass(frozen=True)

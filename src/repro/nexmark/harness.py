@@ -73,5 +73,19 @@ def run_nexmark_experiment(
         return out, op, state_bytes_fn
 
     generator = make_generator(nexmark, cfg.num_workers, seed=cfg.seed)
-    experiment = MigrationExperiment(cfg, build, generator)
+    record_extra = None
+    if cfg.record_log:
+        # Replay re-executes from the log header alone, so it needs the
+        # query number and the full NexmarkConfig alongside the generic
+        # experiment config.
+        from dataclasses import asdict
+
+        record_extra = {
+            "workload_kind": "nexmark",
+            "query": query,
+            "nexmark": asdict(nexmark),
+        }
+    experiment = MigrationExperiment(
+        cfg, build, generator, record_extra=record_extra
+    )
     return experiment.run()

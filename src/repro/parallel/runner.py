@@ -34,6 +34,11 @@ _UNSUPPORTED_FLAGS = (
     ("sample_memory", "memory sampling"),
     ("collect_trace", "migration trace collection"),
     ("native", "the native (non-migrateable) baseline"),
+    # The obsv observers subscribe to *one* bus; a sharded run has one per
+    # domain, so recording/export there would capture a single shard's
+    # slice and present it as the whole run.
+    ("record_log", "event-log recording (--record)"),
+    ("export_metrics", "metrics export (--export-metrics)"),
 )
 
 
@@ -55,6 +60,11 @@ def validate_parallel_config(cfg: ExperimentConfig) -> None:
                 f"--parallel does not support {label}; "
                 "run it serially (drop --parallel)"
             )
+    if cfg.metrics_port is not None:
+        raise ParallelConfigError(
+            "--parallel does not support the metrics endpoint "
+            "(--metrics-port); run it serially (drop --parallel)"
+        )
 
 
 def run_parallel_count_experiment(
@@ -137,6 +147,10 @@ def result_fingerprint(result: ExperimentResult) -> str:
     parallel = getattr(result, "parallel", None) or {}
     for worker, fp in sorted(parallel.get("fingerprints", {}).items()):
         digest.update(f"w{worker}:{fp};".encode())
+    # Serial runs carry their state fingerprints here (sharded runs repeat
+    # them; the digest is over both, deterministically).
+    for worker, fp in sorted(getattr(result, "state_fingerprints", {}).items()):
+        digest.update(f"s{worker}:{fp};".encode())
     digest.update(f"records={result.records_injected};".encode())
     digest.update(f"events={result.sim_events};".encode())
     for d, n in sorted(parallel.get("sim_events_per_domain", {}).items()):

@@ -31,6 +31,7 @@ from typing import Callable, Optional
 from repro.harness.experiment import ExperimentConfig, run_count_experiment
 from repro.nexmark.harness import run_nexmark_experiment
 from repro.runtime_events.columns import active_representation
+from repro.versions import BENCH_SCHEMA
 
 # Layers reported by the per-layer CPU breakdown, matched by source path.
 _LAYERS = (
@@ -358,7 +359,7 @@ def run_bench(
     if overrides:
         scale = BenchScale(**{**asdict(scale), **overrides})
     report: dict = {
-        "schema": "bench-hotpath/2",
+        "schema": BENCH_SCHEMA,
         "scale": scale.name,
         "state_backend": scale.state_backend,
         "batch_representation": active_representation(),

@@ -1,0 +1,211 @@
+"""Tests for the experiment-matrix runner and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.obsv.matrix import (
+    MatrixCell,
+    MatrixSpecError,
+    check_matrix,
+    expand_cells,
+    load_spec,
+    run_matrix,
+    write_matrix_report,
+)
+
+SPEC_TOML = """
+[matrix]
+strategy = ["batched", "all-at-once"]
+backend = ["dict"]
+workload = ["uniform", "skewed"]
+
+[base]
+num_workers = 2
+workers_per_process = 2
+num_bins = 4
+domain = 256
+rate = 5000.0
+duration_s = 1.0
+migrate_at_s = [0.4]
+
+[tolerance]
+default = 0.9
+"""
+
+
+@pytest.fixture
+def spec(tmp_path):
+    path = tmp_path / "spec.toml"
+    path.write_text(SPEC_TOML)
+    return load_spec(str(path))
+
+
+def test_load_spec_defaults_missing_axes(spec):
+    assert spec["matrix"]["codec"] == ["modeled"]
+    assert spec["matrix"]["faults"] == ["none"]
+    assert spec["tolerance"]["default"] == 0.9
+
+
+def test_load_spec_json(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps({"matrix": {"strategy": ["fluid"]}}))
+    spec = load_spec(str(path))
+    assert spec["matrix"]["strategy"] == ["fluid"]
+    assert spec["tolerance"]["default"] == 0.25
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        "x = 1",  # no [matrix] table
+        "[matrix]\nstrategy = []",  # empty axis
+        "[matrix]\nstrategy = [1]",  # non-string values
+        "[matrix]\nstrategy = ['bogus']",  # unknown strategy
+        "[matrix]\nbackend = ['bogus']",  # unknown backend
+        "[matrix]\nfaults = ['bogus']",  # unknown scenario
+        "[matrix]\nstrategy = ['batched']\n[base]\nnope = 1",  # bad base key
+        "this is not toml [",  # parse error
+    ],
+)
+def test_bad_specs_are_rejected(tmp_path, body):
+    path = tmp_path / "bad.toml"
+    path.write_text(body)
+    with pytest.raises(MatrixSpecError):
+        spec = load_spec(str(path))
+        # [base] errors surface when the cell config is built.
+        run_matrix(spec, jobs=0)
+
+
+def test_expand_cells_is_the_cartesian_product(spec):
+    cells = expand_cells(spec)
+    assert len(cells) == 4  # 2 strategies x 1 backend x 2 workloads
+    assert cells[0] == MatrixCell(
+        strategy="batched", backend="dict", codec="modeled",
+        workload="uniform", faults="none",
+    )
+    assert cells[0].cell_id == "batched/dict/modeled/uniform/none"
+
+
+def test_inline_and_forked_runs_agree_on_fingerprints(spec):
+    inline = run_matrix(spec, jobs=0)
+    forked = run_matrix(spec, jobs=2)
+    assert inline["mode"] == "inline"
+    assert forked["mode"].startswith("forked/")
+    assert all(r["status"] == "ok" for r in inline["cells"])
+    by_cell = lambda report: {
+        r["cell"]: r["result_fingerprint"] for r in report["cells"]
+    }
+    assert by_cell(inline) == by_cell(forked)
+
+
+def test_check_matrix_passes_against_own_baseline(spec, tmp_path):
+    report = run_matrix(spec, jobs=0)
+    baseline = tmp_path / "BENCH_matrix.json"
+    write_matrix_report(report, str(baseline))
+    ok, rows = check_matrix(report, str(baseline))
+    assert ok
+    assert all(r["status"] == "ok" for r in rows)
+
+
+def test_check_matrix_flags_regression(spec, tmp_path):
+    report = run_matrix(spec, jobs=0)
+    inflated = json.loads(json.dumps(report))
+    for row in inflated["cells"]:
+        row["records_per_s"] *= 1000
+    baseline = tmp_path / "inflated.json"
+    write_matrix_report(inflated, str(baseline))
+    ok, rows = check_matrix(report, str(baseline))
+    assert not ok
+    assert all(r["status"] == "regression" for r in rows)
+
+
+def test_check_matrix_flags_fingerprint_drift(spec, tmp_path):
+    report = run_matrix(spec, jobs=0)
+    drifted = json.loads(json.dumps(report))
+    drifted["cells"][0]["result_fingerprint"] = "0" * 64
+    baseline = tmp_path / "drifted.json"
+    write_matrix_report(drifted, str(baseline))
+    ok, rows = check_matrix(report, str(baseline))
+    assert not ok
+    assert rows[0]["status"] == "fingerprint-drift"
+
+
+def test_check_matrix_downgrades_on_different_machine(spec, tmp_path):
+    report = run_matrix(spec, jobs=0)
+    other = json.loads(json.dumps(report))
+    other["machine"]["cpu_count"] = 99999  # pretend another machine
+    for row in other["cells"]:
+        row["records_per_s"] *= 1000
+    baseline = tmp_path / "other.json"
+    write_matrix_report(other, str(baseline))
+    ok, rows = check_matrix(report, str(baseline))
+    assert ok  # regressions downgrade to warnings cross-machine
+    assert all(r["status"] == "cross-machine-warn" for r in rows)
+    # Fingerprints also stop gating when the interpreter differs.
+    other["machine"]["python"] = "0.0.0"
+    other["cells"][0]["result_fingerprint"] = "0" * 64
+    write_matrix_report(other, str(baseline))
+    ok, rows = check_matrix(report, str(baseline))
+    assert ok
+    assert rows[0]["status"] == "fingerprint-warn"
+
+
+def test_check_matrix_marks_new_cells(spec, tmp_path):
+    report = run_matrix(spec, jobs=0)
+    pruned = json.loads(json.dumps(report))
+    pruned["cells"] = pruned["cells"][1:]
+    baseline = tmp_path / "pruned.json"
+    write_matrix_report(pruned, str(baseline))
+    ok, rows = check_matrix(report, str(baseline))
+    assert ok  # a new cell is informational, not a failure
+    assert rows[0]["status"] == "new"
+
+
+def test_check_matrix_rejects_wrong_schema(spec, tmp_path):
+    report = run_matrix(spec, jobs=0)
+    wrong = {"schema": "bench-hotpath/2", "cells": []}
+    baseline = tmp_path / "wrong.json"
+    baseline.write_text(json.dumps(wrong))
+    with pytest.raises(ValueError, match="bench-matrix"):
+        check_matrix(report, str(baseline))
+
+
+def test_fault_cells_carry_chaos_verdicts(tmp_path):
+    path = tmp_path / "faults.toml"
+    path.write_text(
+        """
+[matrix]
+strategy = ["batched"]
+faults = ["none", "crash-restart"]
+
+[base]
+num_workers = 4
+workers_per_process = 2
+num_bins = 16
+domain = 4096
+rate = 20000.0
+duration_s = 4.0
+migrate_at_s = [2.0]
+batch_size = 4
+bytes_per_key = 2048.0
+bandwidth_bytes_per_s = 4e6
+"""
+    )
+    spec = load_spec(str(path))
+    report = run_matrix(spec, jobs=0)
+    rows = {r["cell"]: r for r in report["cells"]}
+    plain = rows["batched/dict/modeled/uniform/none"]
+    faulty = rows["batched/dict/modeled/uniform/crash-restart"]
+    assert "chaos_verdict" not in plain
+    assert faulty["status"] == "ok"
+    assert faulty["chaos_verdict"] in ("completed", "recovered")
+
+
+def test_worker_error_is_a_structured_row(spec):
+    # An unknown base key passes load_spec (it is validated lazily) and
+    # must surface as a per-cell error row, not a crash of the sweep.
+    spec["base"]["bogus_field"] = 1
+    report = run_matrix(spec, jobs=2)
+    assert all(r["status"] == "error" for r in report["cells"])
+    assert "ExperimentConfig" in report["cells"][0]["error"]

@@ -1,0 +1,99 @@
+"""Edge-case tests for TraceBus pinned by the obsv subsystem.
+
+The observability layer leans on three bus properties beyond the basics
+covered in ``test_bus.py``: detaching an observer restores the zero-cost
+publish path exactly, ``active_topics`` reports in canonical TOPICS
+order, and multiple subscribers see events in a deterministic order.
+"""
+
+from repro.runtime_events import (
+    TOPICS,
+    MessageEnqueued,
+    MigrationStepCompleted,
+    TraceBus,
+)
+from repro.runtime_events.events import (
+    TOPIC_BATCH,
+    TOPIC_MIGRATION,
+    TOPIC_NETWORK,
+)
+
+
+def _event(at=0.1):
+    return MessageEnqueued(src_worker=0, dst_worker=1, size_bytes=1.0, at=at)
+
+
+def test_unsubscribe_restores_zero_cost_publish_path():
+    bus = TraceBus()
+    baseline = {t: getattr(bus, f"wants_{t}") for t in TOPICS}
+    seen = []
+    unsubscribe = bus.subscribe(seen.append)  # all topics
+    assert all(getattr(bus, f"wants_{t}") for t in TOPICS)
+    unsubscribe()
+    # Every wants_* flag is back to its pristine value: publish sites
+    # guarded by the flag allocate nothing again.
+    assert {t: getattr(bus, f"wants_{t}") for t in TOPICS} == baseline
+    assert bus.active_topics() == ()
+    bus.publish(_event())  # no subscriber: delivered to nobody
+    assert seen == []
+
+
+def test_unsubscribe_is_idempotent():
+    bus = TraceBus()
+    unsubscribe = bus.subscribe(lambda e: None, topics=(TOPIC_NETWORK,))
+    unsubscribe()
+    unsubscribe()  # second call must be a harmless no-op
+    assert bus.wants_network is False
+
+
+def test_active_topics_follow_canonical_order():
+    bus = TraceBus()
+    # Subscribe in an order unlike TOPICS; the report must not follow it.
+    bus.subscribe(lambda e: None, topics=(TOPIC_MIGRATION,))
+    bus.subscribe(lambda e: None, topics=(TOPIC_BATCH,))
+    bus.subscribe(lambda e: None, topics=(TOPIC_NETWORK,))
+    active = bus.active_topics()
+    assert set(active) == {TOPIC_BATCH, TOPIC_NETWORK, TOPIC_MIGRATION}
+    assert list(active) == [t for t in TOPICS if t in active]
+
+
+def test_multi_subscriber_delivery_order_is_subscription_order():
+    bus = TraceBus()
+    calls = []
+    bus.subscribe(lambda e: calls.append(("first", e)), topics=(TOPIC_NETWORK,))
+    bus.subscribe(lambda e: calls.append(("second", e)), topics=(TOPIC_NETWORK,))
+    bus.subscribe(lambda e: calls.append(("third", e)), topics=(TOPIC_NETWORK,))
+    event = _event()
+    bus.publish(event)
+    assert [name for name, _ in calls] == ["first", "second", "third"]
+    assert all(e is event for _, e in calls)
+
+
+def test_middle_unsubscribe_preserves_remaining_order():
+    bus = TraceBus()
+    calls = []
+    bus.subscribe(lambda e: calls.append("first"), topics=(TOPIC_NETWORK,))
+    second = bus.subscribe(
+        lambda e: calls.append("second"), topics=(TOPIC_NETWORK,)
+    )
+    bus.subscribe(lambda e: calls.append("third"), topics=(TOPIC_NETWORK,))
+    second()
+    bus.publish(_event())
+    assert calls == ["first", "third"]
+    assert bus.wants_network is True  # others still listening
+
+
+def test_same_callback_on_disjoint_topics_detaches_cleanly():
+    bus = TraceBus()
+    seen = []
+    unsubscribe = bus.subscribe(
+        seen.append, topics=(TOPIC_NETWORK, TOPIC_MIGRATION)
+    )
+    bus.publish(_event())
+    bus.publish(MigrationStepCompleted(time=1, at=0.2))
+    assert len(seen) == 2
+    unsubscribe()
+    assert bus.wants_network is False
+    assert bus.wants_migration is False
+    bus.publish(_event())
+    assert len(seen) == 2

@@ -465,3 +465,182 @@ def test_plan_invalid_arguments_rejected(argv, message, capsys):
         main(argv)
     assert excinfo.value.code == 2
     assert message in capsys.readouterr().err
+
+
+# -- observability surface (repro.obsv) -----------------------------------------
+
+_SMALL_RUN = [
+    "--domain", "10000", "--rate", "2000", "--duration", "2",
+    "--workers", "4", "--workers-per-process", "2", "--bins", "16",
+    "--migrate-at", "1.0",
+]
+
+
+def test_bench_check_prints_tally(tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+    assert main(["bench", "--scale", "tiny", "--no-layers",
+                 "--output", str(baseline_path)]) == 0
+    capsys.readouterr()
+    code = main(["bench", "--scale", "tiny", "--no-layers",
+                 "--check", str(baseline_path), "--tolerance", "0.9"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "check summary:" in out
+    assert "0 failed" in out
+
+
+def test_bench_check_tally_counts_warnings(tmp_path, capsys):
+    import json
+
+    baseline_path = tmp_path / "baseline.json"
+    assert main(["bench", "--scale", "tiny", "--no-layers",
+                 "--output", str(baseline_path)]) == 0
+    baseline = json.loads(baseline_path.read_text())
+    for numbers in baseline["workloads"].values():
+        numbers["records_per_s"] *= 1000.0
+    baseline["machine"]["cpu_count"] = 4096  # "different" machine
+    baseline_path.write_text(json.dumps(baseline))
+    capsys.readouterr()
+    code = main(["bench", "--scale", "tiny", "--no-layers",
+                 "--check", str(baseline_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    workloads = len(baseline["workloads"])
+    assert f"0 passed, {workloads} warned, 0 failed" in out
+
+
+def test_count_record_then_replay_roundtrip(tmp_path, capsys):
+    log = tmp_path / "run.jsonl"
+    code = main(["count", *_SMALL_RUN, "--record", str(log)])
+    assert code == 0
+    assert "event log recorded" in capsys.readouterr().out
+    code = main(["replay", str(log)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "replay OK" in out
+    assert "recorded fingerprint" in out
+
+
+def test_replay_missing_log_exits_2(capsys):
+    code = main(["replay", "/nonexistent/run.jsonl"])
+    assert code == 2
+    assert "cannot replay" in capsys.readouterr().err
+
+
+def test_replay_detects_fingerprint_drift(tmp_path, capsys):
+    import json
+
+    log = tmp_path / "run.jsonl"
+    assert main(["count", *_SMALL_RUN, "--record", str(log)]) == 0
+    lines = log.read_text().splitlines()
+    footer = json.loads(lines[-1])
+    footer["result_fingerprint"] = "0" * 64
+    lines[-1] = json.dumps(footer)
+    log.write_text("\n".join(lines) + "\n")
+    capsys.readouterr()
+    code = main(["replay", str(log)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL: result fingerprint drifted" in out
+
+
+def test_count_export_metrics_writes_snapshots(tmp_path, capsys):
+    import json
+
+    metrics = tmp_path / "metrics.jsonl"
+    code = main(["count", *_SMALL_RUN, "--export-metrics", str(metrics)])
+    assert code == 0
+    lines = [json.loads(l) for l in metrics.read_text().splitlines()]
+    assert lines
+    final = lines[-1]
+    assert any(k.startswith("repro_records_total") for k in final["counters"])
+
+
+def test_trace_topics_prints_event_counts(capsys):
+    code = main(["trace", *_SMALL_RUN, "--topics", "migration", "frontier"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "bus events by topic" in out
+    assert "migration" in out
+
+
+def test_trace_rejects_unknown_topic(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace", "--topics", "bogus"])
+
+
+def test_list_names_bus_topics(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "bus topics:" in out
+    assert "migration" in out
+    assert "faults" in out
+
+
+_MATRIX_SPEC = """
+[matrix]
+strategy = ["batched", "all-at-once"]
+
+[base]
+num_workers = 2
+workers_per_process = 2
+num_bins = 4
+domain = 256
+rate = 5000.0
+duration_s = 1.0
+migrate_at_s = [0.4]
+
+[tolerance]
+default = 0.9
+"""
+
+
+def test_matrix_command_writes_report(tmp_path, capsys):
+    import json
+
+    spec = tmp_path / "spec.toml"
+    spec.write_text(_MATRIX_SPEC)
+    output = tmp_path / "BENCH_matrix.json"
+    code = main(["matrix", "--spec", str(spec), "--jobs", "0",
+                 "--output", str(output)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "experiment matrix (2 cells" in out
+    report = json.loads(output.read_text())
+    assert report["schema"] == "bench-matrix/1"
+    assert len(report["cells"]) == 2
+
+
+def test_matrix_check_passes_and_fails(tmp_path, capsys):
+    import json
+
+    spec = tmp_path / "spec.toml"
+    spec.write_text(_MATRIX_SPEC)
+    baseline = tmp_path / "BENCH_matrix.json"
+    assert main(["matrix", "--spec", str(spec), "--jobs", "0",
+                 "--output", str(baseline)]) == 0
+    capsys.readouterr()
+    code = main(["matrix", "--spec", str(spec), "--jobs", "0",
+                 "--check", str(baseline)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "matrix check passed" in out
+    assert "check summary:" in out
+    # Inflate the committed numbers: every cell regresses, exit 1.
+    report = json.loads(baseline.read_text())
+    for row in report["cells"]:
+        row["records_per_s"] *= 1000
+    baseline.write_text(json.dumps(report))
+    code = main(["matrix", "--spec", str(spec), "--jobs", "0",
+                 "--check", str(baseline)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL: matrix regressed" in out
+
+
+def test_matrix_rejects_bad_spec(tmp_path, capsys):
+    spec = tmp_path / "bad.toml"
+    spec.write_text("not a matrix spec [")
+    code = main(["matrix", "--spec", str(spec)])
+    assert code == 2
+    assert "cannot load" in capsys.readouterr().err
