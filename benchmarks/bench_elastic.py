@@ -1,0 +1,119 @@
+"""Elastic scaling: time-to-stable-p99, fluid vs pause-and-restart.
+
+The tail-latency cost of a membership change is not how long the state
+movement takes but how long the pipeline's p99 stays outside its SLO.
+This benchmark scripts the acceptance scenario — scale out 4 -> 6 two
+seconds in, drain back 6 -> 4 at five seconds — under a constrained
+migration link, and measures *time-to-stable-p99*: the interval from the
+scaling event until the windowed p99 permanently re-enters the SLO.
+
+Fluid migration hands bins over one at a time, so no window stalls longer
+than one bin's transfer and the p99 never leaves the SLO for long.  The
+pause-and-restart proxy (the all-at-once strategy) reroutes every moved
+bin in a single step, queueing the affected keys' records behind one bulk
+transfer — the classic stop-the-world rescale.  Correctness is pinned the
+same way the CLI's twin check does it: the elastic run must produce the
+same record count and the same global state fingerprint as a
+static-membership twin, and drained workers must end empty.
+"""
+
+from _common import count_config, run_once
+
+from repro.elastic import ScalingPlan
+from repro.harness.experiment import run_count_experiment
+
+# The SLO the stabilization clock checks against: a windowed p99 at or
+# under 25 ms counts as stable.  One fluid bin transfer (~4 ms on the
+# constrained link) sits well inside it; the all-at-once bulk step
+# (~85 bins at once) cannot.
+SLO_P99_S = 0.025
+
+JOIN_AT_S = 2.0
+DRAIN_AT_S = 5.0
+
+
+def elastic_config(strategy, scaling_plan="join@2:4,5;leave@5:4,5", **overrides):
+    defaults = dict(
+        num_workers=6,
+        workers_per_process=2,
+        num_bins=256,
+        domain=1 << 12,
+        rate=20_000.0,
+        duration_s=8.0,
+        bytes_per_key=8192.0,
+        bandwidth_bytes_per_s=32e6,
+        active_workers=4,
+        scaling_plan=(
+            ScalingPlan.parse(scaling_plan) if scaling_plan else None
+        ),
+        strategy=strategy,
+        batch_size=16,
+        migrate_at_s=(),
+        fingerprint_state=True,
+    )
+    defaults.update(overrides)
+    return count_config(**defaults)
+
+
+def time_to_stable_p99(series, event_s, horizon_s, slo_s=SLO_P99_S):
+    """Seconds from ``event_s`` until the p99 permanently re-enters the SLO.
+
+    Scans the latency windows between the event and the horizon (the next
+    scaling event, or the end of input) for the first window from which
+    every later window's p99 stays at or under ``slo_s``; a run that never
+    stabilizes scores the full interval.
+    """
+    windows = [w for w in series if event_s <= w.start_s < horizon_s]
+    for i, window in enumerate(windows):
+        if all(w.p99_s <= slo_s for w in windows[i:]):
+            return max(0.0, window.start_s - event_s)
+    return horizon_s - event_s
+
+
+def stabilization(result):
+    series = result.timeline.series()
+    end_s = max(w.start_s for w in series) + 0.25
+    return (
+        time_to_stable_p99(series, JOIN_AT_S, DRAIN_AT_S),
+        time_to_stable_p99(series, DRAIN_AT_S, end_s),
+    )
+
+
+def bench_elastic(benchmark, sink):
+    def run():
+        fluid = run_count_experiment(elastic_config("fluid"))
+        pause = run_count_experiment(elastic_config("all-at-once"))
+        twin = run_count_experiment(
+            elastic_config("fluid", scaling_plan=None)
+        )
+        return fluid, pause, twin
+
+    fluid, pause, twin = run_once(benchmark, run)
+
+    fluid_join, fluid_drain = stabilization(fluid)
+    pause_join, pause_drain = stabilization(pause)
+
+    sink("elastic 4->6->4, time-to-stable-p99 "
+         f"(SLO {SLO_P99_S * 1000:.0f} ms, 256 bins, 6 slots)")
+    sink(f"  fluid           join {fluid_join:5.2f} s   drain {fluid_drain:5.2f} s"
+         f"   max latency {fluid.overall_max_latency() * 1000:8.2f} ms")
+    sink(f"  pause-restart   join {pause_join:5.2f} s   drain {pause_drain:5.2f} s"
+         f"   max latency {pause.overall_max_latency() * 1000:8.2f} ms")
+
+    # Both runs complete every scaling operation and empty the drained
+    # workers before their handles close.
+    for result in (fluid, pause):
+        assert all(
+            op.completed_at is not None for op in result.scaling.operations
+        )
+        assert result.scaling.residual_bins == 0
+    # Zero lost or duplicated records: the elastic run's record count and
+    # global state fingerprint match the static-membership twin exactly.
+    assert fluid.records_injected == twin.records_injected
+    assert fluid.cluster_fingerprint == twin.cluster_fingerprint
+    sink(f"  twin fingerprint match: {fluid.cluster_fingerprint[:16]}...")
+
+    # The headline: fluid restabilizes strictly faster than
+    # pause-and-restart after both the scale-out and the drain.
+    assert fluid_join < pause_join
+    assert fluid_drain < pause_drain

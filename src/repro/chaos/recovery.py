@@ -56,6 +56,34 @@ def store_fingerprint(store: BinStore) -> str:
     return digest.hexdigest()
 
 
+def cluster_fingerprint(stores) -> str:
+    """Owner-independent digest of the whole cluster's bin states.
+
+    Hashes every resident bin across ``stores`` in global ``bin_id`` order
+    (each bin is owned by exactly one store), canonicalized exactly like
+    :func:`store_fingerprint` — so two runs that place the same per-bin
+    state on *different* workers hash equally.  This is the pin for
+    elastic-membership runs: a scripted join/drain run must match a
+    static-membership twin bin for bin even though the final owner map
+    differs (drain packs by load, round-robin deals by index).
+    """
+    entries = []
+    for store in stores:
+        for bin_id in store.resident_bins():
+            payload = store.extract(bin_id, remove=False)
+            state = payload.decode_state(copy=False)
+            if isinstance(state, (dict, MutableMapping)):
+                canonical = sorted(state.items())
+            else:
+                canonical = state
+            entries.append((bin_id, canonical))
+    entries.sort(key=lambda entry: entry[0])
+    digest = hashlib.sha256()
+    for entry in entries:
+        digest.update(pickle.dumps(entry, protocol=4))
+    return digest.hexdigest()
+
+
 class ConfigurationLedger:
     """The intended bin assignment, updated with every control step."""
 

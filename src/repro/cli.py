@@ -107,6 +107,40 @@ def _obsv_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _elastic_args(parser: argparse.ArgumentParser) -> None:
+    """Elastic membership: standby slots, scripted scaling, autoscaling."""
+    parser.add_argument(
+        "--active", type=int, default=None, metavar="N",
+        help="initially active workers; the remaining --workers slots are "
+        "provisioned standbys that joins can admit mid-run",
+    )
+    parser.add_argument(
+        "--scaling-plan", default=None, metavar="SPEC",
+        help="scripted membership changes, e.g. 'join@2:4,5;leave@5:4,5' "
+        "(semicolon-separated action@seconds:worker,worker)",
+    )
+    parser.add_argument(
+        "--autoscale", action="store_true",
+        help="attach the closed-loop autoscaler (threshold policy with "
+        "hysteresis and cooldown; see `repro.cli list`)",
+    )
+    parser.add_argument(
+        "--scale-out-load", type=float, default=1500.0,
+        help="autoscaler: mean records/s per active worker above which "
+        "a standby is admitted",
+    )
+    parser.add_argument(
+        "--scale-in-load", type=float, default=400.0,
+        help="autoscaler: mean load below which the highest active "
+        "worker is drained (must stay below --scale-out-load; the gap "
+        "is the anti-thrash hysteresis band)",
+    )
+    parser.add_argument(
+        "--autoscale-cooldown", type=float, default=3.0,
+        help="autoscaler: seconds between scaling actions",
+    )
+
+
 def _validate_common(parser: argparse.ArgumentParser, args) -> None:
     """Reject nonsensical parameter combinations with a clear message.
 
@@ -118,6 +152,12 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
     if args.workers_per_process <= 0:
         parser.error(
             f"--workers-per-process must be positive, got {args.workers_per_process}"
+        )
+    if args.workers % args.workers_per_process != 0:
+        parser.error(
+            f"--workers ({args.workers}) must be divisible by "
+            f"--workers-per-process ({args.workers_per_process}); the "
+            "cluster hosts equal-size process groups"
         )
     if args.bins <= 0:
         parser.error(f"--bins must be positive, got {args.bins}")
@@ -169,6 +209,46 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
                 "--parallel does not support --native; the sharded engine "
                 "only runs the migrateable operator"
             )
+    _validate_elastic_args(parser, args)
+
+
+def _validate_elastic_args(parser: argparse.ArgumentParser, args) -> None:
+    """Membership-shape checks mirroring ``ExperimentConfig`` validation,
+    surfaced as usage errors before any cluster is built."""
+    active = getattr(args, "active", None)
+    spec = getattr(args, "scaling_plan", None)
+    autoscale = getattr(args, "autoscale", False)
+    elastic = bool(spec) or autoscale or (
+        active is not None and active != args.workers
+    )
+    if active is not None and not 1 <= active <= args.workers:
+        parser.error(
+            f"--active must be within [1, {args.workers}], got {active}"
+        )
+    if spec:
+        from repro.elastic import MembershipError, ScalingPlan
+
+        try:
+            plan = ScalingPlan.parse(spec)
+            plan.validate(args.workers, active if active is not None else args.workers)
+        except (ValueError, MembershipError) as exc:
+            parser.error(f"--scaling-plan {spec!r}: {exc}")
+    if autoscale and args.scale_in_load >= args.scale_out_load:
+        parser.error(
+            f"--scale-in-load ({args.scale_in_load}) must be below "
+            f"--scale-out-load ({args.scale_out_load}); the gap is the "
+            "hysteresis band that prevents thrash"
+        )
+    if elastic and getattr(args, "parallel", None) is not None:
+        parser.error(
+            "elastic membership is not supported with --parallel; the "
+            "sharded engine partitions a fixed worker set"
+        )
+    if elastic and getattr(args, "native", False):
+        parser.error(
+            "elastic membership needs the megaphone operator; "
+            "--native has no routing table to rescale"
+        )
 
 
 def _validate_backend_args(parser: argparse.ArgumentParser, args) -> None:
@@ -189,7 +269,28 @@ def _validate_backend_args(parser: argparse.ArgumentParser, args) -> None:
         )
 
 
+def _elastic_extra(args) -> dict:
+    """Elastic config fields from the CLI flags (empty when absent)."""
+    out: dict = {}
+    if getattr(args, "active", None) is not None:
+        out["active_workers"] = args.active
+    if getattr(args, "scaling_plan", None):
+        from repro.elastic import ScalingPlan
+
+        out["scaling_plan"] = ScalingPlan.parse(args.scaling_plan)
+    if getattr(args, "autoscale", False):
+        from repro.elastic import AutoscalerConfig
+
+        out["autoscale"] = AutoscalerConfig(
+            scale_out_load=args.scale_out_load,
+            scale_in_load=args.scale_in_load,
+            cooldown_s=args.autoscale_cooldown,
+        )
+    return out
+
+
 def _config_from(args, **extra) -> ExperimentConfig:
+    extra = {**_elastic_extra(args), **extra}
     return ExperimentConfig(
         num_workers=args.workers,
         workers_per_process=args.workers_per_process,
@@ -249,6 +350,48 @@ def _report_obsv(result, args) -> None:
               f"(verify: python -m repro.cli replay {record})")
 
 
+def _report_elastic(result) -> None:
+    """Scaling operations and autoscaler decisions, when the run had any."""
+    report = getattr(result, "scaling", None)
+    if report is None:
+        return
+    rows = [
+        (
+            op.kind,
+            ",".join(str(w) for w in op.workers),
+            op.moves,
+            format_duration(op.duration_s) if op.completed_at else "pending",
+            op.residual_bins,
+        )
+        for op in report.operations
+    ]
+    print_table(
+        "scaling operations",
+        ["kind", "workers", "moves", "duration", "residual bins"],
+        rows if rows else [("-", "-", 0, "-", "no membership changes")],
+    )
+    decisions = getattr(result, "autoscale_decisions", None) or []
+    acted = [d for d in decisions if d.action != "hold"]
+    held = len(decisions) - len(acted)
+    if decisions:
+        print_table(
+            "autoscaler decisions",
+            ["at", "action", "reason", "mean load", "active → target"],
+            [
+                (
+                    f"{d.at:.2f}s",
+                    d.action,
+                    d.reason,
+                    f"{d.mean_load:,.0f}",
+                    f"{d.active} → {d.target}",
+                )
+                for d in acted
+            ]
+            or [("-", "hold", "-", "-", "-")],
+        )
+        print(f"autoscaler holds (cooldown/busy/bounds): {held}")
+
+
 def cmd_count(args) -> int:
     """Run the counting microbenchmark and print its report."""
     cfg = _config_from(
@@ -261,6 +404,7 @@ def cmd_count(args) -> int:
     )
     result = run_count_experiment(cfg)
     _report(result, f"key-count, domain {int(args.domain):,}")
+    _report_elastic(result)
     if result.parallel is not None:
         info = result.parallel
         print(
@@ -299,7 +443,95 @@ def cmd_nexmark(args) -> int:
     cfg = _config_from(args, dilation=args.dilation, native=args.native)
     result = run_nexmark_experiment(args.query, cfg, nexmark=nexmark)
     _report(result, f"NEXMark Q{args.query}")
+    _report_elastic(result)
     _report_obsv(result, args)
+    return 0
+
+
+def cmd_scale(args) -> int:
+    """Run an elastic scaling run and verify its membership guarantees.
+
+    Exits 1 if any scaling operation failed to complete, if a drained
+    worker ended the run with resident bins, or (with ``--verify-twin``)
+    if the global state fingerprint or record count diverged from a
+    static-membership twin of the same configuration — the zero
+    lost/duplicated records check.
+    """
+    import dataclasses
+
+    if not args.scaling_plan and not args.autoscale:
+        print(
+            "scale needs --scaling-plan and/or --autoscale "
+            "(a run with neither never changes membership)",
+            file=sys.stderr,
+        )
+        return 2
+    cfg = _config_from(
+        args,
+        domain=int(args.domain),
+        bytes_per_key=args.bytes_per_key,
+        fingerprint_state=True,
+    )
+    result = run_count_experiment(cfg)
+    _report(result, "elastic scaling run")
+    _report_elastic(result)
+    print_table(
+        "membership transitions",
+        ["at", "worker", "transition"],
+        [
+            (f"{at:.2f}s", worker, f"{prev} -> {state}")
+            for at, worker, prev, state in result.membership
+        ]
+        or [("-", "-", "no transitions")],
+    )
+    print(f"cluster state fingerprint: {result.cluster_fingerprint}")
+    _report_obsv(result, args)
+
+    failures = []
+    report = result.scaling
+    incomplete = [op for op in report.operations if op.completed_at is None]
+    if incomplete:
+        failures.append(
+            f"{len(incomplete)} scaling operation(s) never completed"
+        )
+    if report.residual_bins:
+        failures.append(
+            f"drained workers ended with {report.residual_bins} resident "
+            "bins; evacuation must hand off every bin before retirement"
+        )
+    if args.verify_twin:
+        twin_cfg = dataclasses.replace(
+            cfg,
+            scaling_plan=None,
+            autoscale=None,
+            record_log=None,
+            export_metrics=None,
+            metrics_port=None,
+        )
+        twin = run_count_experiment(twin_cfg)
+        if twin.records_injected != result.records_injected:
+            failures.append(
+                f"records diverged from the static twin: "
+                f"{result.records_injected:,.0f} elastic vs "
+                f"{twin.records_injected:,.0f} static"
+            )
+        if twin.cluster_fingerprint != result.cluster_fingerprint:
+            failures.append(
+                "cluster fingerprint diverged from the static-membership "
+                f"twin ({result.cluster_fingerprint} vs "
+                f"{twin.cluster_fingerprint}): state was lost or duplicated"
+            )
+        if not failures:
+            print(
+                "twin check: fingerprint and record count match the "
+                "static-membership run"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("\nscaling guarantees hold: all operations completed, "
+          "drained workers emptied")
     return 0
 
 
@@ -793,6 +1025,10 @@ def cmd_list(args) -> int:
     print(f"planner objectives: {', '.join(OBJECTIVES)}")
     print("planner policies: closed-loop (cooldown, cost/benefit gate, "
           "SLO pacing), propose-only (advisor)")
+    from repro.elastic.autoscaler import POLICIES as AUTOSCALER_POLICIES
+
+    for name in sorted(AUTOSCALER_POLICIES):
+        print(f"autoscaler policy: {name} — {AUTOSCALER_POLICIES[name]}")
     print("bench: python -m repro.cli bench --scale smoke|full  (hot-path throughput)")
     print("benchmarks: pytest benchmarks/ --benchmark-only  (one per paper figure)")
     return 0
@@ -812,6 +1048,7 @@ def build_parser() -> argparse.ArgumentParser:
     _common_args(count)
     _parallel_arg(count)
     _obsv_args(count)
+    _elastic_args(count)
     count.add_argument("--domain", type=float, default=1e6)
     count.add_argument("--bytes-per-key", type=float, default=8.0)
     count.add_argument("--native", action="store_true")
@@ -820,11 +1057,41 @@ def build_parser() -> argparse.ArgumentParser:
     nexmark = sub.add_parser("nexmark", help="run a NEXMark query")
     _common_args(nexmark)
     _obsv_args(nexmark)
+    _elastic_args(nexmark)
     nexmark.add_argument("--query", type=int, required=True, choices=range(1, 9))
     nexmark.add_argument("--dilation", type=int, default=1)
     nexmark.add_argument("--state-scale", type=float, default=1.0)
     nexmark.add_argument("--native", action="store_true")
     nexmark.set_defaults(fn=cmd_nexmark)
+
+    scale = sub.add_parser(
+        "scale",
+        help="run an elastic scaling run and verify membership guarantees",
+    )
+    _common_args(scale)
+    _obsv_args(scale)
+    _elastic_args(scale)
+    # Small two-process cluster with provisioned standbys: the default is
+    # the acceptance scenario — scale 4 -> 6 mid-run, then drain back to 4.
+    scale.set_defaults(
+        workers=6,
+        workers_per_process=2,
+        bins=16,
+        rate=2_000.0,
+        duration=6.0,
+        migrate_at=[],
+        strategy="fluid",
+        active=4,
+        scaling_plan="join@1.5:4,5;leave@3.5:4,5",
+    )
+    scale.add_argument("--domain", type=float, default=float(1 << 12))
+    scale.add_argument("--bytes-per-key", type=float, default=8.0)
+    scale.add_argument(
+        "--verify-twin", action="store_true",
+        help="also run a static-membership twin of the same config and "
+        "fail unless record count and state fingerprint match exactly",
+    )
+    scale.set_defaults(fn=cmd_scale)
 
     compare = sub.add_parser("compare", help="compare all strategies (Figure 1)")
     _common_args(compare)

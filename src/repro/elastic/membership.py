@@ -1,0 +1,159 @@
+"""Worker lifecycle tracking: the cluster's membership directory.
+
+The runtime provisions a fixed universe of worker slots (``num_workers`` —
+simulated processes exist for all of them up front), but only a subset is
+*active*: fed by the open-loop source and owning bins.  The directory is
+the single authority on which slot is in which lifecycle state::
+
+    standby -> joining -> active -> draining -> retired
+
+``standby`` slots are provisioned but idle (their input handles advance,
+they own nothing).  A ``joining`` worker is being seeded with bins by the
+scaling coordinator; it becomes ``active`` when the seeding migration's
+frontier has passed.  A ``draining`` worker is being evacuated; it becomes
+``retired`` once it owns zero bins and its data handle has closed.
+Retirement is terminal — closed input handles cannot reopen, so a retired
+slot never returns (admit a fresh standby slot instead).
+
+Every transition is published on the ``membership`` trace topic, followed
+by an epoch-stamped :class:`~repro.runtime_events.events.MembershipEpoch`
+view; epochs increase monotonically per transition so subscribers can
+order views without comparing tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime_events.events import MembershipEpoch, WorkerStateChanged
+
+STANDBY = "standby"
+JOINING = "joining"
+ACTIVE = "active"
+DRAINING = "draining"
+RETIRED = "retired"
+
+STATES = (STANDBY, JOINING, ACTIVE, DRAINING, RETIRED)
+
+_LEGAL = {
+    STANDBY: (JOINING,),
+    JOINING: (ACTIVE,),
+    ACTIVE: (DRAINING,),
+    DRAINING: (RETIRED,),
+    RETIRED: (),
+}
+
+
+class MembershipError(RuntimeError):
+    """An illegal lifecycle transition or malformed membership request."""
+
+
+class MembershipDirectory:
+    """Tracks every provisioned worker slot through the lifecycle.
+
+    ``active_workers`` names how many slots start active (a contiguous
+    prefix ``0..active_workers-1``); the rest start standby.  ``sim`` (when
+    given) supplies timestamps and the trace bus; without it the directory
+    works standalone with ``at=0.0`` and no publication (unit tests).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        active_workers: Optional[int] = None,
+        sim=None,
+    ) -> None:
+        if num_workers < 1:
+            raise MembershipError("need at least one provisioned worker")
+        active = num_workers if active_workers is None else active_workers
+        if not 1 <= active <= num_workers:
+            raise MembershipError(
+                f"active_workers must be in 1..{num_workers}, got {active}"
+            )
+        self.num_workers = num_workers
+        self._sim = sim
+        self._states = [
+            ACTIVE if w < active else STANDBY for w in range(num_workers)
+        ]
+        self.epoch = 0
+        # (at, worker, prev, state) — the full transition history, exposed
+        # on the experiment result.
+        self.history: list[tuple] = []
+
+    # -- queries ---------------------------------------------------------------
+
+    def state_of(self, worker: int) -> str:
+        """Lifecycle state of ``worker``."""
+        return self._states[worker]
+
+    def _in(self, state: str) -> tuple:
+        return tuple(
+            w for w, s in enumerate(self._states) if s == state
+        )
+
+    def active(self) -> tuple:
+        """Workers currently active, ascending."""
+        return self._in(ACTIVE)
+
+    def joining(self) -> tuple:
+        return self._in(JOINING)
+
+    def draining(self) -> tuple:
+        return self._in(DRAINING)
+
+    def retired(self) -> tuple:
+        return self._in(RETIRED)
+
+    def standby(self) -> tuple:
+        return self._in(STANDBY)
+
+    def is_active(self, worker: int) -> bool:
+        return self._states[worker] == ACTIVE
+
+    def view(self) -> MembershipEpoch:
+        """The current epoch-stamped membership view."""
+        return MembershipEpoch(
+            epoch=self.epoch,
+            active=self.active(),
+            joining=self.joining(),
+            draining=self.draining(),
+            at=self._now(),
+        )
+
+    # -- transitions -----------------------------------------------------------
+
+    def mark_joining(self, worker: int) -> None:
+        self._transition(worker, JOINING)
+
+    def mark_active(self, worker: int) -> None:
+        self._transition(worker, ACTIVE)
+
+    def mark_draining(self, worker: int) -> None:
+        self._transition(worker, DRAINING)
+
+    def mark_retired(self, worker: int) -> None:
+        self._transition(worker, RETIRED)
+
+    def _transition(self, worker: int, state: str) -> None:
+        if not 0 <= worker < self.num_workers:
+            raise MembershipError(
+                f"worker {worker} outside provisioned range 0..{self.num_workers - 1}"
+            )
+        prev = self._states[worker]
+        if state not in _LEGAL[prev]:
+            raise MembershipError(
+                f"illegal transition for worker {worker}: {prev} -> {state}"
+            )
+        self._states[worker] = state
+        self.epoch += 1
+        at = self._now()
+        self.history.append((at, worker, prev, state))
+        trace = getattr(self._sim, "trace", None)
+        if trace is not None and trace.wants_membership:
+            trace.publish(
+                WorkerStateChanged(worker=worker, prev=prev, state=state, at=at)
+            )
+            trace.publish(self.view())
+
+    def _now(self) -> float:
+        return self._sim.now if self._sim is not None else 0.0

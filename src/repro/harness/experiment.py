@@ -18,8 +18,12 @@ from repro.chaos.inject import ChaosInjector, FaultLog
 from repro.chaos.plan import ChaosConfig
 from repro.chaos.recovery import ConfigurationLedger, RecoveryCoordinator
 from repro.chaos.watchdog import LivenessWatchdog, WatchdogConfig
+from repro.elastic.autoscaler import Autoscaler, AutoscalerConfig
+from repro.elastic.coordinator import ScalingCoordinator, ScalingReport
+from repro.elastic.membership import MembershipDirectory
+from repro.elastic.plan import ScalingPlan
 from repro.harness.latency import EpochLatencyRecorder, LatencyTimeline
-from repro.harness.openloop import OpenLoopSource
+from repro.harness.openloop import ElasticOpenLoopSource, OpenLoopSource
 from repro.harness.workloads import (
     CountWorkload,
     SkewedCountWorkload,
@@ -137,6 +141,75 @@ class ExperimentConfig:
     # always do; serial runs opt in — it is how serial-vs-sharded logical
     # equivalence is asserted).
     fingerprint_state: bool = False
+    # Elastic membership (repro.elastic).  ``num_workers`` is the
+    # *provisioned* slot universe; ``active_workers`` (None = all) is the
+    # initially-active prefix.  A scaling plan scripts timed join/leave
+    # events; an autoscaler config closes the loop from load telemetry.
+    # Any of the three makes the run elastic: the open-loop source feeds a
+    # dynamic worker set over a fixed virtual record universe, so final
+    # bin state matches a static-membership twin's.
+    active_workers: Optional[int] = None
+    scaling_plan: Optional[ScalingPlan] = None
+    autoscale: Optional[AutoscalerConfig] = None
+
+    def __post_init__(self) -> None:
+        # Membership-shape invariants, checked here with a clear error
+        # instead of failing deep in ShardPartition arithmetic.  (The
+        # partition itself tolerates ragged tails for the sharded engine's
+        # internal tests; experiment clusters are always rectangular.)
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be positive, got {self.num_workers}")
+        if self.workers_per_process < 1:
+            raise ValueError(
+                f"workers_per_process must be positive, got {self.workers_per_process}"
+            )
+        if self.num_workers % self.workers_per_process:
+            raise ValueError(
+                f"num_workers ({self.num_workers}) must be a multiple of "
+                f"workers_per_process ({self.workers_per_process}): the "
+                "cluster hosts equal-size process groups, and a ragged "
+                "tail would leave a process with missing worker slots"
+            )
+        if self.active_workers is not None and not (
+            1 <= self.active_workers <= self.num_workers
+        ):
+            raise ValueError(
+                f"active_workers must be in 1..{self.num_workers}, "
+                f"got {self.active_workers}"
+            )
+        if self.elastic:
+            if self.parallel is not None:
+                raise ValueError(
+                    "elastic membership is not supported with sharded "
+                    "execution (parallel); run the serial engine"
+                )
+            if self.native:
+                raise ValueError(
+                    "elastic membership needs the migrateable operator; "
+                    "the native baseline cannot scale"
+                )
+        if self.scaling_plan is not None:
+            self.scaling_plan.validate(self.num_workers, self.initial_active)
+        if self.autoscale is not None:
+            self.autoscale.validate(self.num_workers)
+
+    @property
+    def initial_active(self) -> int:
+        """How many worker slots start active (a contiguous prefix)."""
+        return (
+            self.active_workers
+            if self.active_workers is not None
+            else self.num_workers
+        )
+
+    @property
+    def elastic(self) -> bool:
+        """True when the run's worker set can change (or starts partial)."""
+        return (
+            self.scaling_plan is not None
+            or self.autoscale is not None
+            or self.initial_active != self.num_workers
+        )
 
     def make_workload(self):
         """The configured workload object (uniform or skewed)."""
@@ -227,6 +300,14 @@ class ExperimentResult:
     # Per-worker final state fingerprints (sharded always; serial when the
     # config sets ``fingerprint_state``).
     state_fingerprints: dict = field(default_factory=dict)
+    # Elastic membership outcome (None unless the run was elastic): the
+    # directory's transition history, the coordinator's per-operation
+    # report, the autoscaler's decision log, and an owner-independent
+    # digest of all bin state (the pin against a static-membership twin).
+    membership: list = field(default_factory=list)
+    scaling: Optional[ScalingReport] = None
+    autoscale_decisions: list = field(default_factory=list)
+    cluster_fingerprint: Optional[str] = None
 
     def migration_window(self, index: int) -> tuple[float, float]:
         """(start, end) of migration ``index``, padded by one window."""
@@ -347,16 +428,27 @@ class MigrationExperiment:
         recorder = EpochLatencyRecorder(
             runtime, probe, cfg.granularity_ms, timeline, dilation=cfg.dilation
         )
-        source = OpenLoopSource(
-            runtime,
-            data_group,
-            self._generator,
+        source_kwargs = dict(
             rate=cfg.rate,
             duration_s=cfg.duration_s,
             granularity_ms=cfg.granularity_ms,
             recorder=recorder,
             dilation=cfg.dilation,
         )
+        if cfg.elastic:
+            # Dynamic feed set over a fixed virtual record universe: final
+            # bin state is pinned to a static-membership twin's.
+            source = ElasticOpenLoopSource(
+                runtime,
+                data_group,
+                self._generator,
+                active=list(range(cfg.initial_active)),
+                **source_kwargs,
+            )
+        else:
+            source = OpenLoopSource(
+                runtime, data_group, self._generator, **source_kwargs
+            )
         ticker = EpochTicker(
             runtime,
             control_group,
@@ -449,6 +541,18 @@ class MigrationExperiment:
                 cfg.planner.stop_s = cfg.duration_s
 
         resilient: list[ResilientMigrationController] = []
+
+        def _membership_placeable(worker: int) -> bool:
+            # Crash retargeting must respect membership in elastic runs:
+            # orphaned bins may only land on active or joining workers,
+            # never on a draining evacuee or an idle standby slot.  The
+            # directory is created further down (elastic block) and read
+            # late-bound; non-elastic runs see no directory and keep the
+            # original any-live-worker behavior.
+            if directory is None:
+                return True
+            return directory.state_of(worker) in ("joining", "active")
+
         if op is not None and cfg.migrate_at_s:
             initial = op.config.initial
             current = initial
@@ -467,6 +571,7 @@ class MigrationExperiment:
                         if coordinator is not None
                         else None,
                         reconcile=(i == 0),
+                        placeable=_membership_placeable,
                         gap_s=cfg.gap_s, pace_s=cfg.pace_s,
                     )
                     resilient.append(controller)
@@ -497,6 +602,7 @@ class MigrationExperiment:
                         # Scheduled migrations (if any) already reconcile
                         # crashes; planner-spawned controllers never do.
                         reconcile=False,
+                        placeable=_membership_placeable,
                         gap_s=cfg.planner.gap_s,
                     )
                     resilient.append(controller)
@@ -526,6 +632,77 @@ class MigrationExperiment:
                 lambda: planner_box.update(imbalance=telemetry.imbalance()),
             )
 
+        # -- elastic membership (inert unless the config is elastic) ----------
+        directory = None
+        scaling = None
+        autoscaler = None
+        if cfg.elastic and op is not None:
+            directory = MembershipDirectory(
+                cfg.num_workers, cfg.initial_active, sim=sim
+            )
+            if cfg.autoscale is not None and telemetry is None:
+                # The autoscaler needs load telemetry even without a
+                # planner; default sampling knobs match the planner's.
+                telemetry = LoadTelemetry(
+                    runtime, op, num_workers=cfg.num_workers
+                )
+                telemetry.start(0.0)
+
+            def _scaling_controller(plan, on_done):
+                if chaos is not None:
+                    controller = ResilientMigrationController(
+                        runtime, control_group, ticker, probe, plan,
+                        retry=chaos.retry
+                        if chaos.retry is not None
+                        else RetryPolicy(),
+                        injector=injector,
+                        ledger=ledger,
+                        on_recovery_step=coordinator.on_recovery_step
+                        if coordinator is not None
+                        else None,
+                        # Crash reconciliation stays with the scheduled
+                        # migrations (or the injector's own hooks).
+                        reconcile=False,
+                        placeable=_membership_placeable,
+                        gap_s=cfg.gap_s, pace_s=cfg.pace_s, on_done=on_done,
+                    )
+                    resilient.append(controller)
+                    return controller
+                return MigrationController(
+                    runtime, control_group, ticker, probe, plan,
+                    gap_s=cfg.gap_s, pace_s=cfg.pace_s, on_done=on_done,
+                )
+
+            scaling = ScalingCoordinator(
+                runtime,
+                op,
+                directory,
+                source,
+                controller_factory=_scaling_controller,
+                strategy=cfg.strategy,
+                batch_size=cfg.batch_size,
+                telemetry=telemetry,
+                ledger=ledger,
+            )
+            if cfg.scaling_plan is not None:
+                for event in cfg.scaling_plan.events:
+                    request = (
+                        scaling.request_join
+                        if event.action == "join"
+                        else scaling.request_leave
+                    )
+                    sim.schedule_at(
+                        event.at_s,
+                        lambda req=request, ws=event.workers: req(ws),
+                    )
+            if cfg.autoscale is not None:
+                if cfg.autoscale.stop_s is None:
+                    cfg.autoscale.stop_s = cfg.duration_s
+                autoscaler = Autoscaler(
+                    runtime, telemetry, directory, scaling, cfg.autoscale
+                )
+                autoscaler.start()
+
         if cfg.sample_memory:
             memory_recorder = MemoryTimelineRecorder(
                 sim.trace, len(cluster.processes)
@@ -545,9 +722,15 @@ class MigrationExperiment:
         runtime.run(until=cfg.duration_s + 1.0)
         if planner is not None:
             planner.stop()
+        if autoscaler is not None:
+            autoscaler.stop()
 
         def _pending() -> bool:
             if any(not c.done for c in controllers):
+                return True
+            if scaling is not None and (
+                scaling.busy or any(not c.done for c in scaling.controllers)
+            ):
                 return True
             return planner is not None and (
                 not planner.done
@@ -576,6 +759,8 @@ class MigrationExperiment:
         all_controllers = list(controllers)
         if planner is not None:
             all_controllers.extend(planner.controllers)
+        if scaling is not None:
+            all_controllers.extend(scaling.controllers)
         result = ExperimentResult(
             config=cfg,
             timeline=timeline,
@@ -605,14 +790,22 @@ class MigrationExperiment:
             )
             cost_model.close()
             result.cost_model = cost_model
+        if directory is not None:
+            result.membership = list(directory.history)
+            result.scaling = scaling.report
+            if autoscaler is not None:
+                result.autoscale_decisions = list(autoscaler.decisions)
         # Recording forces state fingerprints: the log's footer fingerprint
         # must cover final state, or replay would verify a weaker pin.
         if (cfg.fingerprint_state or event_log is not None) and op is not None:
-            from repro.chaos.recovery import store_fingerprint
+            from repro.chaos.recovery import cluster_fingerprint, store_fingerprint
 
             result.state_fingerprints = {
                 w: store_fingerprint(store) for w, store in op.stores(runtime)
             }
+            result.cluster_fingerprint = cluster_fingerprint(
+                store for _w, store in op.stores(runtime)
+            )
         result.topic_counts = topic_counts
         if exporter is not None:
             result.metrics_port = exporter.port
@@ -671,7 +864,9 @@ class MigrationExperiment:
 
 def _build_megaphone_count(df, control, data, cfg: ExperimentConfig):
     workload = cfg.make_workload()
-    initial = BinnedConfiguration.round_robin(cfg.num_bins, cfg.num_workers)
+    # Bins start on the initially-active prefix only; standby slots own
+    # nothing until a scale-out seeds them.
+    initial = BinnedConfiguration.round_robin(cfg.num_bins, cfg.initial_active)
     op = state_machine(
         control,
         data,

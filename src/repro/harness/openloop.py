@@ -128,10 +128,17 @@ class OpenLoopSource:
         """Sharded tick: full-cluster allocation, resident-only injection.
 
         The division of ``count`` over workers matches the legacy tick with
-        every handle open (sharded mode excludes chaos, so handles only
-        close at end-of-input, after the final tick).  ``records_injected``
-        counts the local share; the recorder (resident on shard 0 only) is
-        told the *global* count, which every shard computes identically.
+        every handle open (sharded mode excludes chaos, so handles normally
+        only close at end-of-input, after the final tick).  Should a
+        resident handle close mid-run anyway, its share is not silently
+        dropped: the residual is recomputed over the still-open resident
+        handles (each drawing extra records from its own generator stream,
+        so the redistribution is deterministic per shard) — without this
+        the per-worker split would stay frozen at the full-universe
+        allocation and a closed handle would skew the offered load.
+        ``records_injected`` counts the local share; the recorder (resident
+        on shard 0 only) is told the *global* count, which every shard
+        computes identically.
         """
         resident = self.workers
 
@@ -147,18 +154,117 @@ class OpenLoopSource:
             per_worker = count // num_workers
             extra = count % num_workers
             total = 0
+            residual = 0
+            open_resident = []
             advance_to = epoch_ms + self.granularity_ms * self.dilation
             for w in resident:
                 n = per_worker + (1 if w < extra else 0)
                 handle = handles[w]
+                if handle.epoch is None:
+                    residual += n
+                    continue
+                open_resident.append((w, handle))
                 if n > 0:
                     records = self.generator(w, epoch_ms, n)
                     handle.send(epoch_ms, records)
                     total += len(records)
+            if residual and open_resident:
+                per_open = residual // len(open_resident)
+                spill = residual % len(open_resident)
+                for i, (w, handle) in enumerate(open_resident):
+                    n = per_open + (1 if i < spill else 0)
+                    if n > 0:
+                        records = self.generator(w, epoch_ms, n)
+                        handle.send(epoch_ms, records)
+                        total += len(records)
+            for _w, handle in open_resident:
                 handle.advance_to(advance_to)
             self._records_injected += total
             if self.recorder is not None:
                 self.recorder.note_injected(epoch_ms, max(count, 1))
+
+        return tick
+
+
+class ElasticOpenLoopSource(OpenLoopSource):
+    """Open-loop source over a *dynamic* feed set with a fixed record universe.
+
+    Elastic runs change which workers ingest mid-run, but the offered load
+    must not depend on membership history — a scaling run's final state is
+    pinned against a static-membership twin.  So record content is drawn
+    from ``num_workers`` fixed **virtual streams** (one deterministic
+    generator stream per provisioned slot, exactly the allocation a fully
+    open legacy tick would compute), and virtual stream ``v`` is carried by
+    the ``v % len(feed)``-th currently-fed open handle.  Membership changes
+    therefore alter only *which handle carries* a record — never the
+    record, its count, or its epoch — and the downstream exchange routes by
+    key, so per-bin state is byte-identical across membership histories.
+
+    Every provisioned handle that is still open (standby slots included) is
+    advanced each tick, keeping input frontiers on the epoch clock; only
+    *fed* handles receive records.  ``open_worker`` adds a slot to the feed
+    set (joins), ``remove_worker`` removes it without closing the handle
+    (drain start — the coordinator closes the handle after the evacuation's
+    frontier passes).
+    """
+
+    def __init__(self, *args, active: Optional[list] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.workers is not None:
+            raise ValueError("elastic source does not support sharded mode")
+        if active is None:
+            raise ValueError("elastic source needs the initially-fed workers")
+        self._feed = sorted(active)
+
+    @property
+    def feed(self) -> list:
+        """Workers currently receiving records, ascending."""
+        return list(self._feed)
+
+    def open_worker(self, worker: int) -> None:
+        """Start feeding ``worker`` (a joining slot)."""
+        if worker not in self._feed:
+            self._feed.append(worker)
+            self._feed.sort()
+
+    def remove_worker(self, worker: int) -> None:
+        """Stop feeding ``worker``; its handle stays open and advancing."""
+        if worker in self._feed:
+            self._feed.remove(worker)
+
+    def _make_tick(self, index: int, per_tick_exact: float):
+        def tick() -> None:
+            epoch_ms = int(
+                round((self.start_s * 1000) + index * self.granularity_ms)
+            ) * self.dilation
+            self._carry += per_tick_exact
+            count = int(self._carry)
+            self._carry -= count
+            handles = self.group.handles()
+            universe = len(handles)
+            per_stream = count // universe
+            extra = count % universe
+            fed = [
+                handles[w]
+                for w in self._feed
+                if handles[w].epoch is not None
+            ]
+            total = 0
+            if fed:
+                k = len(fed)
+                for v in range(universe):
+                    n = per_stream + (1 if v < extra else 0)
+                    if n > 0:
+                        records = self.generator(v, epoch_ms, n)
+                        fed[v % k].send(epoch_ms, records)
+                        total += len(records)
+            advance_to = epoch_ms + self.granularity_ms * self.dilation
+            for handle in handles:
+                if handle.epoch is not None:
+                    handle.advance_to(advance_to)
+            self._records_injected += total
+            if self.recorder is not None:
+                self.recorder.note_injected(epoch_ms, max(total, 1))
 
         return tick
 

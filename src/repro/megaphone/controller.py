@@ -336,6 +336,9 @@ class ResilientMigrationController(MigrationController):
     * **Worker exclusion** — instructions targeting a dead worker are
       retargeted (at issue *and* retry time) onto the live worker owning
       the fewest bins in the configuration ledger, lowest id on ties.
+      ``placeable`` (when given) further restricts the candidates — elastic
+      runs pass a membership filter so crash retargeting never lands bins
+      on a draining or standby worker.
     * **Crash reconciliation** — on a crash notification, bins the ledger
       places on dead workers are reassigned to survivors through an extra
       recovery step, so the key space stays fully owned; the
@@ -360,6 +363,7 @@ class ResilientMigrationController(MigrationController):
         ledger=None,
         on_recovery_step: Optional[Callable[[StepResult], None]] = None,
         reconcile: bool = True,
+        placeable: Optional[Callable[[int], bool]] = None,
         **kwargs,
     ) -> None:
         super().__init__(runtime, control_group, ticker, probe, plan, **kwargs)
@@ -367,6 +371,7 @@ class ResilientMigrationController(MigrationController):
         self._injector = injector
         self._ledger = ledger
         self._on_recovery_step = on_recovery_step
+        self._placeable = placeable
         # Timeout events keyed by id(StepResult): StepResult's generated
         # equality makes it unusable as a dict key or membership probe.
         self._timeout_events: dict[int, object] = {}
@@ -417,7 +422,12 @@ class ResilientMigrationController(MigrationController):
         self._arm_timeout(result)
 
     def _live_bin_counts(self) -> dict[int, float]:
-        live = self._injector.live_workers()
+        live = list(self._injector.live_workers())
+        if self._placeable is not None:
+            # Never leave bins unowned: if membership rules exclude every
+            # live worker, fall back to the full live set.
+            eligible = [w for w in live if self._placeable(w)]
+            live = eligible or live
         if self._ledger is not None:
             return {w: len(self._ledger.current.bins_of(w)) for w in live}
         return {w: 0 for w in live}

@@ -52,8 +52,18 @@ def run_nexmark_experiment(
             control.sink(name="control_sink")
             op = None
         else:
+            # Elastic runs start bins on the active prefix only; the
+            # default (initial=None) is round-robin over every worker.
+            initial = None
+            if config.initial_active != config.num_workers:
+                from repro.megaphone.control import BinnedConfiguration
+
+                initial = BinnedConfiguration.round_robin(
+                    config.num_bins, config.initial_active
+                )
             out, op = module.megaphone(
                 control, streams, nexmark, config.num_bins,
+                initial=initial,
                 state_backend=config.state_backend,
                 codec=config.codec,
                 backend_options=config.backend_options(),

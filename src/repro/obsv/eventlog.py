@@ -74,6 +74,13 @@ def config_to_dict(cfg) -> dict:
             out["chaos"] = None if value is None else _chaos_to_dict(value)
         elif field.name == "planner":
             out["planner"] = None if value is None else _planner_to_dict(value)
+        elif field.name == "scaling_plan":
+            # Canonical text form; ScalingPlan.parse inverts it exactly.
+            out["scaling_plan"] = None if value is None else value.spec()
+        elif field.name == "autoscale":
+            out["autoscale"] = (
+                None if value is None else dataclasses.asdict(value)
+            )
         else:
             out[field.name] = _jsonable_config_value(field.name, value)
     return out
@@ -133,6 +140,18 @@ def config_from_dict(data: dict):
         elif name == "planner":
             kwargs["planner"] = (
                 None if value is None else _planner_from_dict(value)
+            )
+        elif name == "scaling_plan":
+            from repro.elastic.plan import ScalingPlan
+
+            kwargs["scaling_plan"] = (
+                None if value is None else ScalingPlan.parse(value)
+            )
+        elif name == "autoscale":
+            from repro.elastic.autoscaler import AutoscalerConfig
+
+            kwargs["autoscale"] = (
+                None if value is None else AutoscalerConfig(**value)
             )
         elif isinstance(value, list):
             kwargs[name] = tuple(value)

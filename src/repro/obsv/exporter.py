@@ -29,9 +29,11 @@ from typing import IO, Iterable, Optional
 
 from repro.runtime_events.bus import TraceBus
 from repro.runtime_events.events import (
+    AutoscaleDecision,
     BatchDelivered,
     BinStateExtracted,
     BinStateInstalled,
+    MembershipEpoch,
     MemorySampled,
     MessageDropped,
     MessageEnqueued,
@@ -40,6 +42,7 @@ from repro.runtime_events.events import (
     MigrationStepIssued,
     MigrationStepOutcome,
     WorkerLoadSampled,
+    WorkerStateChanged,
 )
 
 # Histogram bucket upper bounds (seconds or bytes, depending on series).
@@ -224,6 +227,20 @@ class MetricsExporter:
             self._gauge("repro_worker_load", event.load, labels)
             self._gauge("repro_worker_bins", event.bins, labels)
             self._gauge("repro_worker_state_bytes", event.state_bytes, labels)
+        elif kind is WorkerStateChanged:
+            self._count(
+                "repro_membership_transitions_total",
+                (("state", event.state),),
+            )
+        elif kind is MembershipEpoch:
+            self._gauge("repro_active_workers", len(event.active))
+            self._gauge("repro_draining_workers", len(event.draining))
+            self._gauge("repro_membership_epoch", event.epoch)
+        elif kind is AutoscaleDecision:
+            self._count(
+                "repro_autoscale_decisions_total",
+                (("action", event.action), ("reason", event.reason)),
+            )
         elif event.topic == "faults":
             self._count("repro_faults_total", (("fault", kind.__name__),))
 

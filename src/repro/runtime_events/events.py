@@ -22,6 +22,9 @@ Topics group events by the layer that emits them:
                 exclusion, state reinstallation, watchdog verdicts
 ``planner``     the closed-loop migration planner: load samples, skew
                 detection, and plan proposal/adoption decisions
+``membership``  elastic cluster membership: worker lifecycle transitions,
+                epoch-stamped membership views, scale-out/drain progress,
+                and autoscaler decisions
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ TOPIC_MEMORY = "memory"
 TOPIC_FAULTS = "faults"
 TOPIC_RECOVERY = "recovery"
 TOPIC_PLANNER = "planner"
+TOPIC_MEMBERSHIP = "membership"
 
 TOPICS = (
     TOPIC_ACTIVATION,
@@ -53,6 +57,7 @@ TOPICS = (
     TOPIC_FAULTS,
     TOPIC_RECOVERY,
     TOPIC_PLANNER,
+    TOPIC_MEMBERSHIP,
 )
 
 
@@ -582,4 +587,106 @@ class PlanRejected:
     reason: str
     predicted_cost_s: float
     predicted_gain: float
+    at: float
+
+
+# -- elastic cluster membership --------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerStateChanged:
+    """A worker moved through the membership lifecycle.
+
+    States follow ``standby -> joining -> active -> draining -> retired``;
+    ``prev`` names the state the worker left.
+    """
+
+    topic: ClassVar[str] = TOPIC_MEMBERSHIP
+    worker: int
+    prev: str
+    state: str
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipEpoch:
+    """An epoch-stamped view of the active worker set.
+
+    Published by the directory after every lifecycle transition; ``epoch``
+    increases monotonically per view so subscribers can order views
+    without comparing tuples.
+    """
+
+    topic: ClassVar[str] = TOPIC_MEMBERSHIP
+    epoch: int
+    active: tuple
+    joining: tuple
+    draining: tuple
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleOutStarted:
+    """The coordinator began admitting ``workers`` into the cluster."""
+
+    topic: ClassVar[str] = TOPIC_MEMBERSHIP
+    workers: tuple
+    target_active: int
+    moves: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleOutCompleted:
+    """All joining workers own their planned bins and became active."""
+
+    topic: ClassVar[str] = TOPIC_MEMBERSHIP
+    workers: tuple
+    active: int
+    duration_s: float
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class DrainStarted:
+    """The coordinator began evacuating ``workers`` ahead of retirement."""
+
+    topic: ClassVar[str] = TOPIC_MEMBERSHIP
+    workers: tuple
+    target_active: int
+    moves: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class DrainCompleted:
+    """Departing workers handed off their bins and retired.
+
+    ``residual_bins`` counts bins still resident on the evacuees when their
+    handles closed — it must be zero for a clean drain.
+    """
+
+    topic: ClassVar[str] = TOPIC_MEMBERSHIP
+    workers: tuple
+    active: int
+    residual_bins: int
+    duration_s: float
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class AutoscaleDecision:
+    """The autoscaler's policy loop produced a verdict.
+
+    ``action`` is ``"scale-out"``, ``"scale-in"``, or ``"hold"`` (holds are
+    published only when a trigger was suppressed by cooldown or bounds, with
+    the suppressing ``reason``).
+    """
+
+    topic: ClassVar[str] = TOPIC_MEMBERSHIP
+    action: str
+    reason: str
+    mean_load: float
+    active: int
+    target: int
     at: float

@@ -44,8 +44,11 @@ MATRIX_SCHEMA = f"{MATRIX_SCHEMA_FAMILY}/{MATRIX_SCHEMA_VERSION}"
 MATRIX_READ_VERSIONS = (1,)
 
 # -- obsv event logs (repro.obsv.eventlog) --------------------------------------
-EVENT_LOG_VERSION = 1
-EVENT_LOG_READ_VERSIONS = (1,)
+# v2 added the elastic-membership provenance (active_workers, scaling_plan,
+# autoscale config fields) and the ``membership`` trace topic.  v1 logs
+# (no membership changes possible) replay unchanged.
+EVENT_LOG_VERSION = 2
+EVENT_LOG_READ_VERSIONS = (1, 2)
 
 
 def parse_schema(tag: str) -> tuple[str, int]:

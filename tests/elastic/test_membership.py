@@ -1,0 +1,97 @@
+"""Tests for the membership directory's lifecycle state machine."""
+
+import pytest
+
+from repro.elastic import MembershipDirectory, MembershipError
+
+
+def test_initial_states_split_active_prefix_and_standby():
+    directory = MembershipDirectory(6, active_workers=4)
+    assert directory.active() == (0, 1, 2, 3)
+    assert directory.standby() == (4, 5)
+    assert directory.joining() == ()
+    assert directory.draining() == ()
+    assert directory.retired() == ()
+
+
+def test_default_active_is_every_provisioned_slot():
+    directory = MembershipDirectory(4)
+    assert directory.active() == (0, 1, 2, 3)
+    assert directory.standby() == ()
+
+
+def test_full_lifecycle_standby_to_retired():
+    directory = MembershipDirectory(2, active_workers=1)
+    directory.mark_joining(1)
+    assert directory.state_of(1) == "joining"
+    directory.mark_active(1)
+    assert directory.is_active(1)
+    directory.mark_draining(1)
+    assert directory.draining() == (1,)
+    directory.mark_retired(1)
+    assert directory.retired() == (1,)
+    assert directory.active() == (0,)
+
+
+@pytest.mark.parametrize(
+    "setup, bad",
+    [
+        ((), "mark_active"),       # standby -> active skips joining
+        ((), "mark_draining"),     # standby -> draining
+        ((), "mark_retired"),      # standby -> retired
+        (("mark_joining",), "mark_retired"),  # joining -> retired
+        (("mark_joining", "mark_active", "mark_draining", "mark_retired"),
+         "mark_joining"),          # retirement is terminal
+    ],
+)
+def test_illegal_transitions_raise(setup, bad):
+    directory = MembershipDirectory(2, active_workers=1)
+    for step in setup:
+        getattr(directory, step)(1)
+    with pytest.raises(MembershipError):
+        getattr(directory, bad)(1)
+
+
+def test_active_worker_cannot_rejoin():
+    directory = MembershipDirectory(2)
+    with pytest.raises(MembershipError):
+        directory.mark_joining(0)
+
+
+def test_out_of_range_worker_rejected():
+    directory = MembershipDirectory(2, active_workers=1)
+    with pytest.raises(MembershipError):
+        directory.mark_joining(2)
+
+
+def test_bad_construction_rejected():
+    with pytest.raises(MembershipError):
+        MembershipDirectory(0)
+    with pytest.raises(MembershipError):
+        MembershipDirectory(4, active_workers=0)
+    with pytest.raises(MembershipError):
+        MembershipDirectory(4, active_workers=5)
+
+
+def test_epoch_increases_monotonically_per_transition():
+    directory = MembershipDirectory(3, active_workers=1)
+    assert directory.epoch == 0
+    directory.mark_joining(1)
+    directory.mark_joining(2)
+    directory.mark_active(1)
+    assert directory.epoch == 3
+    assert [h[1:] for h in directory.history] == [
+        (1, "standby", "joining"),
+        (2, "standby", "joining"),
+        (1, "joining", "active"),
+    ]
+
+
+def test_view_reflects_current_membership():
+    directory = MembershipDirectory(4, active_workers=2)
+    directory.mark_joining(2)
+    view = directory.view()
+    assert view.epoch == 1
+    assert view.active == (0, 1)
+    assert view.joining == (2,)
+    assert view.draining == ()

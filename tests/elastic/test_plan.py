@@ -1,0 +1,85 @@
+"""Tests for declarative scaling plans: parsing and structural validation."""
+
+import pytest
+
+from repro.elastic import ScalingPlan
+
+
+def test_parse_and_spec_invert_exactly():
+    spec = "join@1.5:4,5;leave@3.5:4,5"
+    plan = ScalingPlan.parse(spec)
+    assert plan.spec() == spec
+    assert ScalingPlan.parse(plan.spec()) == plan
+
+
+def test_parse_normalizes_whitespace_and_sorts_ids():
+    plan = ScalingPlan.parse(" join@2:5,4 ; leave@5:5,4 ")
+    assert plan.spec() == "join@2:4,5;leave@5:4,5"
+
+
+def test_parse_empty_spec_is_the_empty_plan():
+    assert ScalingPlan.parse("").events == ()
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "join@2",             # no worker list
+        "grow@2:4",           # unknown action
+        "join@x:4",           # bad time
+        "join@2:four",        # bad worker id
+        "join@2:",            # empty worker list
+    ],
+)
+def test_parse_rejects_malformed_fragments(spec):
+    with pytest.raises(ValueError):
+        ScalingPlan.parse(spec)
+
+
+def test_validate_accepts_the_acceptance_scenario():
+    plan = ScalingPlan.parse("join@1.5:4,5;leave@3.5:4,5")
+    plan.validate(num_workers=6, active_workers=4)
+
+
+@pytest.mark.parametrize(
+    "spec, message",
+    [
+        ("join@-1:4", "before t=0"),
+        ("leave@5:3;join@2:4", "out of order"),
+        ("join@2:4,4", "duplicate"),
+        ("join@2:9", "outside provisioned range"),
+        ("join@2:3", "non-standby"),
+        ("join@2:5", "lowest standby"),
+        ("leave@2:0,1,2,3", "worker 0 cannot leave"),
+        ("leave@2:5", "non-active"),
+        ("leave@2:2", "highest active"),
+    ],
+)
+def test_validate_rejects_structural_errors(spec, message):
+    plan = ScalingPlan.parse(spec)
+    with pytest.raises(ValueError, match=message):
+        plan.validate(num_workers=6, active_workers=4)
+
+
+def test_validate_rejects_draining_every_active_worker():
+    plan = ScalingPlan.parse("leave@2:1,2,3")
+    with pytest.raises(ValueError):
+        # Even without worker 0 in the list the remaining set must stay
+        # non-empty once worker 0 is excluded from leaving.
+        ScalingPlan.parse("leave@2:0,1,2,3").validate(4, 4)
+    # Draining 1..3 leaves worker 0 active: legal.
+    plan.validate(num_workers=4, active_workers=4)
+
+
+def test_retired_workers_do_not_return_to_standby():
+    plan = ScalingPlan.parse("join@1:4;leave@2:4;join@3:4")
+    with pytest.raises(ValueError):
+        plan.validate(num_workers=5, active_workers=4)
+    # A fresh standby slot can still join after the drain.
+    ScalingPlan.parse("join@1:4;leave@2:4;join@3:5").validate(6, 4)
+
+
+def test_final_active_tracks_joins_and_leaves():
+    plan = ScalingPlan.parse("join@1:4,5;leave@3:5;leave@4:4")
+    assert plan.final_active(4) == 4
+    assert ScalingPlan.parse("join@1:4,5").final_active(4) == 6

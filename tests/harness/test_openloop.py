@@ -3,7 +3,7 @@
 import pytest
 
 from repro.harness.latency import EpochLatencyRecorder, LatencyTimeline
-from repro.harness.openloop import OpenLoopSource
+from repro.harness.openloop import ElasticOpenLoopSource, OpenLoopSource
 from tests.helpers import make_dataflow
 
 
@@ -76,3 +76,114 @@ def test_dilated_epochs_measure_latency_in_processing_time():
     # Event time ran 50x faster, but latency is measured against the
     # injection wall-clock: still small under light load.
     assert timeline.overall.max_value < 0.05
+
+
+# -- resident (sharded-mode) ticks ---------------------------------------------
+
+
+def build_resident(rate, duration_s, num_workers=4):
+    df = make_dataflow(num_workers=num_workers, workers_per_process=num_workers)
+    stream, group = df.new_input("data")
+    stream.map(lambda x: x).probe()
+    runtime = df.build()
+    source = OpenLoopSource(
+        runtime, group,
+        generator=lambda w, t, n: [(w, t, i) for i in range(n)],
+        rate=rate, duration_s=duration_s,
+        workers=list(range(num_workers)),
+    )
+    return runtime, source, group
+
+
+def test_resident_tick_redistributes_closed_handle_share():
+    # A resident handle closing mid-run must not silently drop its share
+    # of the offered load: the residual is re-dealt over the still-open
+    # resident handles, keeping the open-loop rate exact.
+    runtime, source, group = build_resident(rate=1000, duration_s=1.0)
+    handles = group.handles()
+    runtime.sim.schedule_at(0.495, handles[1].close)
+    source.start()
+    runtime.run_to_quiescence()
+    assert source.records_injected == 1000
+
+
+def test_resident_tick_with_all_handles_open_matches_nominal_rate():
+    runtime, source, _ = build_resident(rate=1000, duration_s=1.0)
+    source.start()
+    runtime.run_to_quiescence()
+    assert source.records_injected == 1000
+
+
+# -- elastic source -------------------------------------------------------------
+
+
+def build_elastic(rate, duration_s, active, num_workers=4, collect=None):
+    df = make_dataflow(num_workers=num_workers, workers_per_process=num_workers)
+    stream, group = df.new_input("data")
+    if collect is not None:
+        stream = stream.map(lambda x: (collect.append(x), x)[1])
+    stream.probe()
+    runtime = df.build()
+    source = ElasticOpenLoopSource(
+        runtime, group,
+        generator=lambda v, t, n: [(v, t, i) for i in range(n)],
+        rate=rate, duration_s=duration_s,
+        active=active,
+    )
+    return runtime, source, group
+
+
+def test_elastic_source_requires_active_set():
+    with pytest.raises(ValueError, match="initially-fed"):
+        build_elastic(rate=100, duration_s=1.0, active=None)
+
+
+def test_elastic_source_rejects_sharded_mode():
+    df = make_dataflow(num_workers=2, workers_per_process=2)
+    _stream, group = df.new_input("data")
+    runtime = df.build()
+    with pytest.raises(ValueError, match="sharded"):
+        ElasticOpenLoopSource(
+            runtime, group,
+            generator=lambda v, t, n: [],
+            rate=100.0, duration_s=1.0,
+            workers=[0, 1], active=[0],
+        )
+
+
+def test_elastic_feed_mutation_is_idempotent():
+    _, source, _ = build_elastic(rate=100, duration_s=1.0, active=[0, 1])
+    assert source.feed == [0, 1]
+    source.open_worker(2)
+    source.open_worker(2)  # re-opening is a no-op
+    assert source.feed == [0, 1, 2]
+    source.remove_worker(1)
+    source.remove_worker(1)  # re-removing is a no-op
+    assert source.feed == [0, 2]
+    source.remove_worker(3)  # removing a never-fed slot is a no-op
+    assert source.feed == [0, 2]
+
+
+def test_elastic_records_are_membership_independent():
+    # The defining invariant: the virtual-stream universe pins record
+    # content, so a run whose feed set churns mid-flight injects exactly
+    # the records a static-feed run does — only the carrying handle moves.
+    static_seen = []
+    runtime, source, _ = build_elastic(
+        rate=1000, duration_s=1.0, active=[0, 1, 2, 3], collect=static_seen
+    )
+    source.start()
+    runtime.run_to_quiescence()
+
+    churn_seen = []
+    runtime, source, _ = build_elastic(
+        rate=1000, duration_s=1.0, active=[0, 1], collect=churn_seen
+    )
+    runtime.sim.schedule_at(0.25, lambda: source.open_worker(2))
+    runtime.sim.schedule_at(0.45, lambda: source.open_worker(3))
+    runtime.sim.schedule_at(0.75, lambda: source.remove_worker(3))
+    source.start()
+    runtime.run_to_quiescence()
+
+    assert sorted(churn_seen) == sorted(static_seen)
+    assert len(static_seen) == 1000

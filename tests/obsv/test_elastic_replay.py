@@ -1,0 +1,117 @@
+"""Event-log v2: elastic provenance round-trips and scaling runs replay.
+
+The schema bump to :data:`repro.versions.EVENT_LOG_VERSION` == 2 added the
+elastic fields (``active_workers``, ``scaling_plan``, ``autoscale``) to the
+config provenance and the ``membership`` topic to the trace.  These tests
+pin three guarantees: the provenance dict inverts exactly, a recorded
+scaling run replays byte-identically, and v1 logs (which predate elastic
+membership) remain readable.
+"""
+
+import json
+
+from repro.elastic import AutoscalerConfig, ScalingPlan
+from repro.harness.experiment import ExperimentConfig, run_count_experiment
+from repro.obsv import read_log_meta, replay_run
+from repro.obsv.eventlog import config_from_dict, config_to_dict
+from repro.versions import EVENT_LOG_READ_VERSIONS, EVENT_LOG_VERSION
+
+
+def _scaling_config(**overrides) -> ExperimentConfig:
+    cfg = ExperimentConfig(
+        num_workers=6,
+        workers_per_process=2,
+        num_bins=16,
+        domain=1 << 12,
+        rate=2_000.0,
+        duration_s=6.0,
+        migrate_at_s=(),
+        strategy="fluid",
+        active_workers=4,
+        scaling_plan=ScalingPlan.parse("join@1.5:4,5;leave@3.5:4,5"),
+        fingerprint_state=True,
+    )
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return cfg
+
+
+def test_schema_version_is_bumped_and_back_readable():
+    assert EVENT_LOG_VERSION == 2
+    # v1 logs predate elastic membership entirely; they must stay readable.
+    assert 1 in EVENT_LOG_READ_VERSIONS
+
+
+def test_elastic_config_roundtrips_through_provenance_dict():
+    cfg = _scaling_config(
+        autoscale=AutoscalerConfig(
+            scale_out_load=800.0, scale_in_load=200.0, cooldown_s=1.5
+        ),
+        scaling_plan=None,
+    )
+    data = config_to_dict(cfg)
+    assert data["active_workers"] == 4
+    assert data["scaling_plan"] is None
+    assert data["autoscale"]["scale_out_load"] == 800.0
+    assert config_from_dict(data) == cfg
+
+
+def test_scaling_plan_serializes_as_its_canonical_spec():
+    cfg = _scaling_config()
+    data = config_to_dict(cfg)
+    assert data["scaling_plan"] == "join@1.5:4,5;leave@3.5:4,5"
+    rebuilt = config_from_dict(data)
+    assert rebuilt.scaling_plan == cfg.scaling_plan
+    assert rebuilt == cfg
+
+
+def test_recorded_scaling_run_carries_v2_header(tmp_path):
+    log = tmp_path / "scale.jsonl"
+    run_count_experiment(_scaling_config(record_log=str(log)))
+    header, footer = read_log_meta(str(log))
+    assert header["version"] == EVENT_LOG_VERSION == 2
+    assert header["config"]["scaling_plan"] == "join@1.5:4,5;leave@3.5:4,5"
+    # The membership topic made it into the trace: four workers change
+    # state twice each (join, activate) plus the drain transitions.
+    assert footer["events_by_topic"].get("membership", 0) > 0
+
+
+def test_scaling_run_replays_byte_identically(tmp_path):
+    log = tmp_path / "scale.jsonl"
+    run_count_experiment(_scaling_config(record_log=str(log)))
+    report = replay_run(str(log))
+    assert report.fingerprint_match
+    assert report.drifted_topics == []
+    assert report.ok
+
+
+def test_v1_log_without_elastic_fields_still_replays(tmp_path):
+    # Record a non-elastic run, then rewrite its header to look like a
+    # v1 log: version 1, no elastic config fields.  The reader must
+    # accept it and the replay must still verify.
+    log = tmp_path / "legacy.jsonl"
+    cfg = ExperimentConfig(
+        num_workers=2,
+        workers_per_process=2,
+        num_bins=4,
+        domain=256,
+        rate=5_000.0,
+        duration_s=1.0,
+        migrate_at_s=(0.4,),
+        strategy="batched",
+        batch_size=2,
+        record_log=str(log),
+    )
+    run_count_experiment(cfg)
+    lines = log.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["version"] = 1
+    for field in ("active_workers", "scaling_plan", "autoscale"):
+        header["config"].pop(field, None)
+    lines[0] = json.dumps(header)
+    log.write_text("\n".join(lines) + "\n")
+
+    meta, _ = read_log_meta(str(log))
+    assert meta["version"] == 1
+    report = replay_run(str(log))
+    assert report.ok

@@ -644,3 +644,67 @@ def test_matrix_rejects_bad_spec(tmp_path, capsys):
     code = main(["matrix", "--spec", str(spec)])
     assert code == 2
     assert "cannot load" in capsys.readouterr().err
+
+
+# -- elastic membership (repro.cli scale / --autoscale) -------------------------
+
+
+def test_scale_command_verifies_twin(capsys):
+    code = main(["scale", "--verify-twin"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "scaling operations" in out
+    assert "membership transitions" in out
+    assert "cluster state fingerprint" in out
+    assert "twin check: fingerprint and record count match" in out
+    assert "scaling guarantees hold" in out
+
+
+def test_count_autoscale_reports_decisions(capsys):
+    code = main([
+        "count", "--domain", "4096", "--rate", "4000", "--duration", "4",
+        "--workers", "6", "--workers-per-process", "2", "--bins", "16",
+        "--active", "4", "--autoscale",
+        "--scale-out-load", "800", "--scale-in-load", "200",
+        "--autoscale-cooldown", "1.5",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "autoscaler decisions" in out
+    assert "scale-out" in out
+
+
+def test_list_names_autoscaler_policies(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "autoscaler policy: threshold" in out
+
+
+@pytest.mark.parametrize(
+    "argv,message",
+    [
+        (["count", "--workers", "6", "--workers-per-process", "4"],
+         "must be divisible by"),
+        (["count", "--workers", "6", "--workers-per-process", "2",
+          "--active", "9"], "--active"),
+        (["count", "--workers", "6", "--workers-per-process", "2",
+          "--duration", "6", "--active", "4",
+          "--scaling-plan", "banana"], "--scaling-plan"),
+        (["count", "--workers", "6", "--workers-per-process", "2",
+          "--duration", "6", "--active", "4",
+          "--scaling-plan", "leave@2:0"], "worker 0 cannot leave"),
+        (["count", "--workers", "6", "--workers-per-process", "2",
+          "--duration", "6", "--active", "4",
+          "--scaling-plan", "join@1:5"], "lowest standby"),
+        (["count", "--workers", "6", "--workers-per-process", "2",
+          "--active", "4", "--parallel", "0"], "parallel"),
+        (["count", "--workers", "4", "--workers-per-process", "2",
+          "--autoscale", "--scale-out-load", "100",
+          "--scale-in-load", "200"], "--scale-in-load"),
+    ],
+)
+def test_elastic_arguments_rejected(argv, message, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert message in capsys.readouterr().err
